@@ -1,0 +1,99 @@
+// Command psbroker runs a single live greenps broker over TCP.
+//
+// Usage:
+//
+//	psbroker -id B001 -listen 127.0.0.1:7001 -bw 300000 \
+//	         -delay 0.0001,0.001 -neighbors 127.0.0.1:7002,127.0.0.1:7003
+//
+// The broker serves until interrupted. Neighbors are dialed once at
+// startup; additional neighbors may connect inbound at any time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/greenps/greenps/internal/broker"
+	"github.com/greenps/greenps/internal/message"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psbroker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "", "broker ID (required)")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		bw        = flag.Float64("bw", 0, "output bandwidth throttle, bytes/s (0 = unthrottled)")
+		delayStr  = flag.String("delay", "0.0001,0.001", "matching delay model perSub,base in seconds")
+		neighbors = flag.String("neighbors", "", "comma-separated neighbor addresses to dial")
+		capacity  = flag.Int("profile-bits", 1280, "CBC bit-vector capacity")
+		quiet     = flag.Bool("q", false, "suppress runtime diagnostics")
+	)
+	flag.Parse()
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	delay, err := parseDelay(*delayStr)
+	if err != nil {
+		return err
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "psbroker ", log.LstdFlags)
+	}
+	node, err := broker.StartNode(broker.NodeConfig{
+		ID:              *id,
+		ListenAddr:      *listen,
+		Delay:           delay,
+		OutputBandwidth: *bw,
+		ProfileCapacity: *capacity,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broker %s listening on %s\n", node.ID(), node.Addr())
+	for _, addr := range strings.Split(*neighbors, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := node.ConnectNeighbor(addr); err != nil {
+			node.Stop()
+			return fmt.Errorf("connect neighbor %s: %w", addr, err)
+		}
+		fmt.Printf("broker %s linked to %s\n", node.ID(), addr)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	node.Stop()
+	return nil
+}
+
+func parseDelay(s string) (message.MatchingDelayFn, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return message.MatchingDelayFn{}, fmt.Errorf("-delay needs perSub,base")
+	}
+	perSub, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return message.MatchingDelayFn{}, fmt.Errorf("-delay perSub: %w", err)
+	}
+	base, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return message.MatchingDelayFn{}, fmt.Errorf("-delay base: %w", err)
+	}
+	return message.MatchingDelayFn{PerSub: perSub, Base: base}, nil
+}

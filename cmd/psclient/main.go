@@ -1,0 +1,154 @@
+// Command psclient is a live publish/subscribe client for greenps brokers.
+//
+// Subscribe and print deliveries:
+//
+//	psclient -id sub1 -broker 127.0.0.1:7001 \
+//	         -subscribe "[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,19]"
+//
+// Advertise and publish (one publication per -publish flag, or a stream of
+// synthetic stock quotes with -quotes N):
+//
+//	psclient -id pub1 -broker 127.0.0.1:7001 \
+//	         -advertise "[class,=,'STOCK'],[symbol,=,'YHOO']" \
+//	         -publish "[class,'STOCK'],[symbol,'YHOO'],[low,18.2]"
+//	psclient -id pub1 -broker 127.0.0.1:7001 -symbol YHOO -quotes 100 -rate 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/greenps/greenps/internal/client"
+	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "", "client ID (required)")
+		brokerFl  = flag.String("broker", "", "broker address (required)")
+		subscribe = flag.String("subscribe", "", "subscription filter; prints deliveries until interrupted")
+		advertise = flag.String("advertise", "", "advertisement filter")
+		publish   = flag.String("publish", "", "one publication as [attr,value],...")
+		symbol    = flag.String("symbol", "", "publish synthetic stock quotes for this symbol")
+		quotes    = flag.Int("quotes", 0, "number of synthetic quotes to publish")
+		rate      = flag.Float64("rate", 70.0/60.0, "synthetic publication rate, msgs/s")
+	)
+	flag.Parse()
+	if *id == "" || *brokerFl == "" {
+		return fmt.Errorf("-id and -broker are required")
+	}
+	c, err := client.Connect(*id, *brokerFl)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+
+	if *advertise != "" {
+		preds, err := message.ParsePredicates(*advertise)
+		if err != nil {
+			return err
+		}
+		adv := message.NewAdvertisement("ADV-"+*id, *id, preds)
+		if err := c.Advertise(adv); err != nil {
+			return err
+		}
+		fmt.Printf("advertised %s\n", adv)
+	}
+	if *publish != "" {
+		attrs, err := parseAttrs(*publish)
+		if err != nil {
+			return err
+		}
+		if err := c.Publish("ADV-"+*id, attrs); err != nil {
+			return err
+		}
+		fmt.Println("published 1 message")
+	}
+	if *symbol != "" && *quotes > 0 {
+		stock := workload.GenerateStock(1, *symbol, *quotes)
+		adv := stock.Advertisement("ADV-"+*id, *id)
+		if err := c.Advertise(adv); err != nil {
+			return err
+		}
+		interval := time.Duration(float64(time.Second) / *rate)
+		for i := 0; i < *quotes; i++ {
+			pub := stock.Publication(adv.ID, i, i)
+			if err := c.PublishAt(pub); err != nil {
+				return err
+			}
+			time.Sleep(interval)
+		}
+		fmt.Printf("published %d quotes for %s\n", *quotes, *symbol)
+	}
+	if *subscribe != "" {
+		preds, err := message.ParsePredicates(*subscribe)
+		if err != nil {
+			return err
+		}
+		sub := message.NewSubscription("sub-"+*id, *id, preds)
+		if err := c.Subscribe(sub); err != nil {
+			return err
+		}
+		fmt.Printf("subscribed %s; waiting for deliveries (ctrl-c to stop)\n", sub)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		for {
+			select {
+			case pub, ok := <-c.Publications():
+				if !ok {
+					return c.Err()
+				}
+				fmt.Println(pub)
+			case <-sig:
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// parseAttrs parses [attr,value],[attr,value],... publication syntax.
+func parseAttrs(s string) (map[string]message.Value, error) {
+	// Reuse the predicate splitter by inserting a fake '=' op:
+	// [a,v] -> treat as attr/value pair.
+	out := make(map[string]message.Value)
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] == ',' {
+			rest = strings.TrimSpace(rest[1:])
+			continue
+		}
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("expected '[' at %q", rest)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated attribute in %q", rest)
+		}
+		body := rest[1:end]
+		rest = strings.TrimSpace(rest[end+1:])
+		i := strings.IndexByte(body, ',')
+		if i <= 0 {
+			return nil, fmt.Errorf("attribute %q must be [name,value]", body)
+		}
+		preds, err := message.ParsePredicates("[" + body[:i] + ",=," + body[i+1:] + "]")
+		if err != nil {
+			return nil, err
+		}
+		out[preds[0].Attr] = preds[0].Value
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package greenps
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenps/greenps/internal/broker"
+	"github.com/greenps/greenps/internal/core"
+	"github.com/greenps/greenps/internal/croc"
+	"github.com/greenps/greenps/internal/deploy"
+	"github.com/greenps/greenps/internal/grape"
+	"github.com/greenps/greenps/internal/message"
+)
+
+// Deployment owns a fleet of live brokers and clients and can apply the
+// paper's reconfiguration end to end: gather information from the running
+// overlay, plan with any algorithm, re-instantiate the allocated brokers
+// from a clean state, and reconnect every client — while subscriber
+// delivery channels stay valid throughout.
+type Deployment struct {
+	d       *deploy.Deployment
+	nextSeq map[string]int
+}
+
+// NewDeployment returns an empty deployment.
+func NewDeployment() *Deployment {
+	return &Deployment{d: deploy.New(), nextSeq: make(map[string]int)}
+}
+
+// StartBroker launches a broker in this deployment.
+func (dp *Deployment) StartBroker(o BrokerOptions) error {
+	addr := o.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return dp.d.StartBroker(broker.NodeConfig{
+		ID:              o.ID,
+		ListenAddr:      addr,
+		OutputBandwidth: o.OutputBandwidth,
+		Delay: message.MatchingDelayFn{
+			PerSub: o.MatchingDelayPerSub,
+			Base:   o.MatchingDelayBase,
+		},
+	})
+}
+
+// Link connects two running brokers by ID.
+func (dp *Deployment) Link(a, b string) error { return dp.d.Link(a, b) }
+
+// Brokers returns the IDs of currently running brokers.
+func (dp *Deployment) Brokers() []string { return dp.d.RunningBrokers() }
+
+// BrokerAddr returns a running broker's connect address.
+func (dp *Deployment) BrokerAddr(id string) (string, error) { return dp.d.BrokerAddr(id) }
+
+// AddPublisher attaches a publisher with the given advertisement filter
+// and returns its advertisement ID.
+func (dp *Deployment) AddPublisher(clientID, brokerID, filter string) (string, error) {
+	preds, err := message.ParsePredicates(filter)
+	if err != nil {
+		return "", err
+	}
+	advID := "ADV-" + clientID
+	adv := message.NewAdvertisement(advID, clientID, preds)
+	if err := dp.d.AddPublisher(clientID, brokerID, adv); err != nil {
+		return "", err
+	}
+	return advID, nil
+}
+
+// Publish sends one publication under a previously added publisher.
+func (dp *Deployment) Publish(advID string, attrs map[string]any) error {
+	converted := make(map[string]message.Value, len(attrs))
+	for k, v := range attrs {
+		switch x := v.(type) {
+		case string:
+			converted[k] = message.String(x)
+		case float64:
+			converted[k] = message.Number(x)
+		case int:
+			converted[k] = message.Number(float64(x))
+		case bool:
+			converted[k] = message.Bool(x)
+		default:
+			return fmt.Errorf("greenps: unsupported attribute type %T for %q", v, k)
+		}
+	}
+	seq := dp.nextSeq[advID]
+	dp.nextSeq[advID] = seq + 1
+	return dp.d.Publish(advID, message.NewPublication(advID, seq, converted))
+}
+
+// AddSubscriber attaches a subscriber with the given filter. The returned
+// channel survives reconfigurations and closes when the deployment closes.
+func (dp *Deployment) AddSubscriber(clientID, brokerID, filter string) (string, <-chan Delivery, error) {
+	preds, err := message.ParsePredicates(filter)
+	if err != nil {
+		return "", nil, err
+	}
+	subID := "sub-" + clientID
+	sub := message.NewSubscription(subID, clientID, preds)
+	raw, err := dp.d.AddSubscriber(clientID, brokerID, sub)
+	if err != nil {
+		return "", nil, err
+	}
+	out := make(chan Delivery, 64)
+	go func() {
+		defer close(out)
+		for pub := range raw {
+			d := Delivery{
+				PublisherID: pub.AdvID,
+				Seq:         pub.Seq,
+				Hops:        pub.Hops,
+				Attrs:       make(map[string]any, len(pub.Attrs)),
+			}
+			for k, v := range pub.Attrs {
+				switch v.Kind {
+				case message.KindString:
+					d.Attrs[k] = v.Str
+				case message.KindNumber:
+					d.Attrs[k] = v.Num
+				case message.KindBool:
+					d.Attrs[k] = v.B
+				}
+			}
+			out <- d
+		}
+	}()
+	return subID, out, nil
+}
+
+// ReconfigureAndApply runs the three phases against the running overlay
+// and applies the resulting plan: the paper's complete loop. It returns
+// the applied plan's summary.
+func (dp *Deployment) ReconfigureAndApply(algorithm string, timeout time.Duration) (*PlanSummary, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ids := dp.d.RunningBrokers()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("greenps: deployment has no running brokers")
+	}
+	entry, err := dp.d.BrokerAddr(ids[0])
+	if err != nil {
+		return nil, err
+	}
+	plan, err := croc.Reconfigure(entry, core.Config{
+		Algorithm: algorithm,
+		GrapeMode: grape.ModeLoad,
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := dp.d.Apply(plan); err != nil {
+		return nil, err
+	}
+	doc := croc.ToDoc(plan)
+	return &PlanSummary{
+		Algorithm:   plan.Algorithm,
+		Brokers:     plan.NumBrokers(),
+		Root:        doc.Root,
+		BrokerURLs:  doc.Brokers,
+		Children:    doc.Edges,
+		Subscribers: doc.Subscribers,
+		Publishers:  doc.Publishers,
+		ComputeTime: plan.ComputeTime,
+	}, nil
+}
+
+// Close tears the deployment down.
+func (dp *Deployment) Close() { dp.d.Close() }

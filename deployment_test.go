@@ -1,0 +1,105 @@
+package greenps_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/greenps/greenps"
+)
+
+// TestDeploymentReconfigureAndApply exercises the paper's full loop through
+// the public API: a live fleet, traffic, consolidation, and uninterrupted
+// delivery channels.
+func TestDeploymentReconfigureAndApply(t *testing.T) {
+	dp := greenps.NewDeployment()
+	defer dp.Close()
+	for i := 0; i < 3; i++ {
+		if err := dp.StartBroker(greenps.BrokerOptions{
+			ID:                  fmt.Sprintf("B%d", i),
+			OutputBandwidth:     1 << 20,
+			MatchingDelayPerSub: 0.0001,
+			MatchingDelayBase:   0.001,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dp.Link("B0", "B1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Link("B1", "B2"); err != nil {
+		t.Fatal(err)
+	}
+	_, ch, err := dp.AddSubscriber("watcher", "B2", "[class,=,'STOCK'],[symbol,=,'YHOO']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	advID, err := dp.AddPublisher("ticker", "B0", "[class,=,'STOCK'],[symbol,=,'YHOO']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+
+	publish := func(seq int) {
+		t.Helper()
+		if err := dp.Publish(advID, map[string]any{
+			"class": "STOCK", "symbol": "YHOO", "low": float64(seq),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case d := <-ch:
+			if d.Attrs["low"] != float64(seq) {
+				t.Fatalf("delivery low = %v, want %d", d.Attrs["low"], seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("publication %d lost", seq)
+		}
+	}
+	for seq := 0; seq < 10; seq++ {
+		publish(seq)
+	}
+
+	plan, err := dp.ReconfigureAndApply("CRAM-IOS", 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Brokers != 1 {
+		t.Fatalf("consolidated to %d brokers, want 1", plan.Brokers)
+	}
+	if got := len(dp.Brokers()); got != 1 {
+		t.Fatalf("%d brokers running after apply", got)
+	}
+	time.Sleep(400 * time.Millisecond)
+	// Same channel keeps delivering on the consolidated system.
+	for seq := 10; seq < 14; seq++ {
+		publish(seq)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	dp := greenps.NewDeployment()
+	defer dp.Close()
+	if _, err := dp.ReconfigureAndApply("CRAM-IOS", time.Second); err == nil {
+		t.Fatal("reconfigure with no brokers accepted")
+	}
+	if err := dp.StartBroker(greenps.BrokerOptions{ID: "B0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.AddPublisher("p", "B0", "[broken"); err == nil {
+		t.Fatal("bad advertisement filter accepted")
+	}
+	if _, _, err := dp.AddSubscriber("s", "B0", "[broken"); err == nil {
+		t.Fatal("bad subscription filter accepted")
+	}
+	if _, err := dp.AddPublisher("p", "B9", "[a,=,1]"); err == nil {
+		t.Fatal("unknown broker accepted")
+	}
+	advID, err := dp.AddPublisher("p", "B0", "[a,=,1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Publish(advID, map[string]any{"bad": struct{}{}}); err == nil {
+		t.Fatal("unsupported attribute accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package greenps_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenps/greenps"
+)
+
+// ExampleStartBroker shows a minimal one-broker deployment with a
+// threshold subscriber and a stock publisher.
+func ExampleStartBroker() {
+	b, err := greenps.StartBroker(greenps.BrokerOptions{ID: "B1"})
+	if err != nil {
+		panic(err)
+	}
+	defer b.Stop()
+
+	sub, err := greenps.Connect("watcher", b.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,19]"); err != nil {
+		panic(err)
+	}
+
+	pub, err := greenps.Connect("ticker", b.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer pub.Close()
+	advID, err := pub.Advertise("[class,=,'STOCK'],[symbol,=,'YHOO']")
+	if err != nil {
+		panic(err)
+	}
+	if err := pub.Publish(advID, map[string]any{
+		"class": "STOCK", "symbol": "YHOO", "low": 18.4,
+	}); err != nil {
+		panic(err)
+	}
+
+	d := <-sub.Deliveries()
+	fmt.Println(d.Attrs["low"])
+	// Output: 18.4
+}
+
+// ExampleReconfigure runs the paper's three-phase pipeline against a live
+// overlay and reports the consolidated broker count.
+func ExampleReconfigure() {
+	b, err := greenps.StartBroker(greenps.BrokerOptions{ID: "B1"})
+	if err != nil {
+		panic(err)
+	}
+	defer b.Stop()
+	c, err := greenps.Connect("client", b.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe("[class,=,'STOCK']"); err != nil {
+		panic(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	plan, err := greenps.Reconfigure(b.Addr(), "CRAM-IOS", 10*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Algorithm, plan.Brokers)
+	// Output: CRAM-IOS 1
+}

@@ -1,0 +1,83 @@
+// Datacenter consolidation: the paper's green-IT story in one run. A
+// heterogeneous 40-broker data center (the paper's 100%/50%/25% capacity
+// tiers) carries a 1,200-subscription stock workload; the example measures
+// the MANUAL deployment, then reconfigures with BIN PACKING and CRAM-IOS
+// and reports how many brokers each approach powers off and what happens
+// to system load, hop count, and delivery delay.
+//
+// This example drives the same virtual-time harness the benchmark suite
+// uses (the in-process equivalent of the paper's cluster testbed), so it
+// finishes in seconds.
+//
+// Run with:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greenps/greenps/internal/sim"
+	"github.com/greenps/greenps/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	o := workload.Defaults()
+	o.Brokers = 40
+	o.Publishers = 12
+	o.SubsPerPublisher = 100
+	o.Heterogeneous = true // 100% / 50% / 25% capacity tiers
+	o.BaseBandwidth = 300_000
+	sc, err := workload.Build("datacenter", o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data center: %d brokers in three capacity tiers, %d publishers, %d subscriptions\n\n",
+		o.Brokers, o.Publishers, len(sc.Subscribers))
+
+	approaches := []string{sim.ApproachManual, "BINPACKING", "CRAM-IOS"}
+	var manual *sim.Result
+	fmt.Printf("%-12s %8s %14s %8s %10s %12s\n",
+		"approach", "brokers", "total msgs/s", "hops", "delay ms", "utilization")
+	for _, ap := range approaches {
+		res, err := sim.Run(sim.ExperimentConfig{
+			Scenario:      sc,
+			Approach:      ap,
+			ProfileRounds: 150,
+			MeasureRounds: 75,
+			Seed:          1,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", ap, err)
+		}
+		if ap == sim.ApproachManual {
+			manual = res
+		}
+		fmt.Printf("%-12s %8d %14.1f %8.2f %10.1f %11.1f%%\n",
+			ap, res.AllocatedBrokers, res.TotalMsgRate, res.AvgHops,
+			res.AvgDelayMs, res.AvgUtilization*100)
+	}
+
+	// The punchline: energy proportionality.
+	res, err := sim.Run(sim.ExperimentConfig{
+		Scenario: sc, Approach: "CRAM-IOS",
+		ProfileRounds: 150, MeasureRounds: 75, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	freed := manual.AllocatedBrokers - res.AllocatedBrokers
+	fmt.Printf("\nCRAM-IOS powers off %d of %d brokers (%.0f%%) while raising the survivors'\n",
+		freed, manual.AllocatedBrokers, float64(freed)/float64(manual.AllocatedBrokers)*100)
+	fmt.Printf("mean utilization from %.1f%% to %.1f%% and cutting system message rate by %.0f%%.\n",
+		manual.AvgUtilization*100, res.AvgUtilization*100,
+		(manual.TotalMsgRate-res.TotalMsgRate)/manual.TotalMsgRate*100)
+	return nil
+}

@@ -1,0 +1,123 @@
+// Quickstart: a three-broker overlay over TCP, one stock publisher, two
+// subscribers, live deliveries, and a CROC reconfiguration plan computed
+// with CRAM-IOS.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/greenps/greenps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Start a small broker chain: B1 - B2 - B3.
+	var brokers []*greenps.Broker
+	for _, id := range []string{"B1", "B2", "B3"} {
+		b, err := greenps.StartBroker(greenps.BrokerOptions{
+			ID:                  id,
+			OutputBandwidth:     1 << 20, // 1 MiB/s throttle
+			MatchingDelayPerSub: 0.0001,
+			MatchingDelayBase:   0.001,
+		})
+		if err != nil {
+			return err
+		}
+		defer b.Stop()
+		brokers = append(brokers, b)
+		fmt.Printf("broker %s up on %s\n", b.ID(), b.Addr())
+	}
+	if err := brokers[0].ConnectNeighbor(brokers[1].Addr()); err != nil {
+		return err
+	}
+	if err := brokers[1].ConnectNeighbor(brokers[2].Addr()); err != nil {
+		return err
+	}
+
+	// 2. A subscriber on each end: one wants every YHOO quote, one only
+	// dips below $19.
+	subAll, err := greenps.Connect("sub-all", brokers[0].Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = subAll.Close() }()
+	if _, err := subAll.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO']"); err != nil {
+		return err
+	}
+	subDips, err := greenps.Connect("sub-dips", brokers[2].Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = subDips.Close() }()
+	if _, err := subDips.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,19]"); err != nil {
+		return err
+	}
+	allCh := subAll.Deliveries()
+	dipsCh := subDips.Deliveries()
+
+	// 3. A publisher in the middle.
+	pub, err := greenps.Connect("pub-yhoo", brokers[1].Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = pub.Close() }()
+	advID, err := pub.Advertise("[class,=,'STOCK'],[symbol,=,'YHOO']")
+	if err != nil {
+		return err
+	}
+	// Advertisements and subscriptions propagate asynchronously; give the
+	// routing state a moment to settle before publishing.
+	time.Sleep(500 * time.Millisecond)
+	for i, low := range []float64{18.4, 19.2, 18.9} {
+		if err := pub.Publish(advID, map[string]any{
+			"class":  "STOCK",
+			"symbol": "YHOO",
+			"open":   low + 0.3,
+			"low":    low,
+			"close":  low + 0.1,
+			"volume": 6200 + i,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// 4. Collect deliveries (sub-all: 3, sub-dips: 2).
+	deadline := time.After(15 * time.Second)
+	gotAll, gotDips := 0, 0
+	for gotAll < 3 || gotDips < 2 {
+		select {
+		case d := <-allCh:
+			gotAll++
+			fmt.Printf("sub-all received seq=%d low=%v hops=%d\n", d.Seq, d.Attrs["low"], d.Hops)
+		case d := <-dipsCh:
+			gotDips++
+			fmt.Printf("sub-dips received seq=%d low=%v hops=%d\n", d.Seq, d.Attrs["low"], d.Hops)
+		case <-deadline:
+			return fmt.Errorf("timed out: got %d/3 and %d/2 deliveries", gotAll, gotDips)
+		}
+	}
+
+	// 5. Ask CROC for a CRAM-IOS reconfiguration plan of the live overlay.
+	plan, err := greenps.Reconfigure(brokers[0].Addr(), "CRAM-IOS", 10*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nCRAM-IOS plan: %d broker(s), root %s, computed in %v\n",
+		plan.Brokers, plan.Root, plan.ComputeTime.Round(time.Millisecond))
+	for advID, b := range plan.Publishers {
+		fmt.Printf("  publisher %s -> %s\n", advID, b)
+	}
+	fmt.Printf("  %d subscriptions placed\n", len(plan.Subscribers))
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/greenps/greenps
+
+go 1.22

@@ -1,0 +1,98 @@
+package allocation
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/message"
+)
+
+// benchInput builds a 2,000-subscription pool against 40 brokers.
+func benchInput(b *testing.B) *Input {
+	b.Helper()
+	units, pubs := testWorkload(1, 20, 100, 10, 100)
+	// A gentler matching slope than stdDelay: the raw mixed pool must be
+	// feasible (so every algorithm can run), while clustering still pays.
+	delay := message.MatchingDelayFn{PerSub: 0.00005, Base: 0.001}
+	in := &Input{
+		Units:           units,
+		Brokers:         testBrokers(40, 80_000, delay),
+		Publishers:      pubs,
+		ProfileCapacity: testCap,
+	}
+	if err := in.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkFBF2000(b *testing.B) {
+	in := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&FBF{Seed: int64(i)}).Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinPacking2000(b *testing.B) {
+	in := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&BinPacking{}).Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRAM2000(b *testing.B) {
+	for _, m := range []bitvector.Metric{bitvector.MetricIntersect, bitvector.MetricXor,
+		bitvector.MetricIOS, bitvector.MetricIOU} {
+		b.Run(m.String(), func(b *testing.B) {
+			in := benchInput(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cram := &CRAM{Metric: m}
+				a, err := cram.Allocate(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(a.NumAllocated()), "brokers")
+					b.ReportMetric(float64(cram.Stats().ClosenessComputations), "closeness_comps")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPairwise2000(b *testing.B) {
+	in := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &Pairwise{Clusters: 40, Variant: "PAIRWISE-N", Seed: int64(i)}
+		if _, err := p.Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeasibilityTest isolates CRAM's inner loop: one BIN PACKING
+// feasibility pass over the full pool.
+func BenchmarkFeasibilityTest(b *testing.B) {
+	in := benchInput(b)
+	units := sortUnitsByBandwidthDesc(in.Units)
+	brokers := sortBrokersByCapacity(in.Brokers)
+	cache := make(map[string]bitvector.Load)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !feasibleFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, cache) {
+			b.Fatal("pool must be feasible")
+		}
+	}
+}
+

@@ -1,0 +1,698 @@
+package allocation
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/poset"
+)
+
+// CRAM is the Clustering with Resource Awareness and Minimization algorithm
+// (Section IV-C). It repeatedly clusters the pair of subscription groups
+// with the highest non-zero closeness, accepting each clustering only if
+// the resulting unit pool still BIN-PACKs onto the broker pool, and returns
+// the last feasible allocation when no further pairing exists.
+//
+// Three optimizations from the paper are implemented and individually
+// switchable for ablation experiments:
+//
+//  1. GIF grouping — subscriptions with equal bit-vector profiles form a
+//     Group of Identical Filters and cluster group-wise.
+//  2. Poset search pruning — the closest partner of each GIF is found with
+//     a pruned BFS over the relationship poset instead of an exhaustive
+//     scan.
+//  3. One-to-many clustering — when the best pair has an intersect
+//     relationship, first try clustering each side with its covered GIFs
+//     chosen by greedy set cover (the CGS).
+//
+// A CRAM value is not safe for concurrent use: Allocate stores run
+// statistics retrievable via Stats.
+type CRAM struct {
+	// Metric selects the closeness metric (INTERSECT, XOR, IOS, IOU).
+	Metric bitvector.Metric
+	// DisableGIFGrouping turns off optimization 1 (every subscription is
+	// its own group; implies exhaustive search, because the poset rejects
+	// equal profiles by design).
+	DisableGIFGrouping bool
+	// ExhaustiveSearch turns off optimization 2 (partner search scans all
+	// groups instead of the pruned poset BFS).
+	ExhaustiveSearch bool
+	// DisableOneToMany turns off optimization 3.
+	DisableOneToMany bool
+	// MaxIterations caps the clustering loop as a safety net; 0 means
+	// 64×(initial group count), far beyond any convergent run.
+	MaxIterations int
+
+	stats CRAMStats
+}
+
+var _ Algorithm = (*CRAM)(nil)
+
+// CRAMStats records the work done by the last Allocate call, feeding the
+// E8 ablation experiment.
+type CRAMStats struct {
+	// InitialUnits is the subscription count entering the algorithm.
+	InitialUnits int
+	// InitialGIFs is the group count after GIF grouping (equals
+	// InitialUnits with grouping disabled, minus empty-profile units).
+	InitialGIFs int
+	// FinalUnits is the unit count of the returned allocation.
+	FinalUnits int
+	// ClosenessComputations counts closeness evaluations across all
+	// partner searches.
+	ClosenessComputations int
+	// PackAttempts counts allocation feasibility tests.
+	PackAttempts int
+	// ClustersAccepted and ClustersRejected count clustering attempts.
+	ClustersAccepted int
+	ClustersRejected int
+	// OneToManyApplied counts accepted CGS clusterings.
+	OneToManyApplied int
+}
+
+// Name implements Algorithm.
+func (c *CRAM) Name() string { return "CRAM-" + c.Metric.String() }
+
+// Stats returns the statistics of the last Allocate run.
+func (c *CRAM) Stats() CRAMStats { return c.stats }
+
+// gif is a Group of Identical Filters: every unit in the group has exactly
+// the same bit-vector profile.
+type gif struct {
+	id      string
+	profile *bitvector.Profile
+	// units are the group's clusters, kept sorted ascending by output
+	// bandwidth so the lightest unit is units[0].
+	units []*Unit
+	node  *poset.Node
+}
+
+func (g *gif) sortUnits() {
+	sort.Slice(g.units, func(i, j int) bool {
+		if g.units[i].Load.Bandwidth != g.units[j].Load.Bandwidth {
+			return g.units[i].Load.Bandwidth < g.units[j].Load.Bandwidth
+		}
+		return g.units[i].ID < g.units[j].ID
+	})
+}
+
+// removeUnit drops a unit by identity.
+func (g *gif) removeUnit(u *Unit) {
+	for i, x := range g.units {
+		if x == u {
+			g.units = append(g.units[:i], g.units[i+1:]...)
+			return
+		}
+	}
+}
+
+// candidate is a heap entry: a GIF and its best-known partner.
+type candidate struct {
+	gifID     string
+	partnerID string // equal to gifID for self-pairs
+	closeness float64
+}
+
+// candHeap is a max-heap of candidates by closeness.
+type candHeap []candidate
+
+func (h candHeap) Len() int      { return len(h) }
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].closeness != h[j].closeness {
+		return h[i].closeness > h[j].closeness
+	}
+	if h[i].gifID != h[j].gifID {
+		return h[i].gifID < h[j].gifID
+	}
+	return h[i].partnerID < h[j].partnerID
+}
+func (h *candHeap) Push(x any) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// cramRun holds the mutable state of one Allocate call.
+type cramRun struct {
+	c        *CRAM
+	capacity int
+	brokers  []*BrokerSpec
+	pubs     map[string]*bitvector.PublisherStats
+	inCache  map[string]bitvector.Load
+
+	gifs      map[string]*gif
+	byKey     map[string]*gif // fingerprint -> gif
+	zeroUnits []*Unit         // empty-profile units, packed but never clustered
+	ps        *poset.Poset
+	blacklist map[string]struct{}
+	heap      candHeap
+	nextGIF   int
+	nextUnit  int
+	// sorted caches the pool in BIN PACKING order; refreshSorted rebuilds
+	// it after each committed change so feasibility tests are O(n) merges
+	// instead of O(n log n) sorts.
+	sorted      []*Unit
+	sortedDirty bool
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+func (r *cramRun) blacklisted(a, b string) bool {
+	_, ok := r.blacklist[pairKey(a, b)]
+	return ok
+}
+
+// poolUnits returns the current unit pool in BIN PACKING order, cached
+// between committed changes.
+func (r *cramRun) poolUnits() []*Unit {
+	if r.sorted == nil || r.sortedDirty {
+		var units []*Unit
+		ids := make([]string, 0, len(r.gifs))
+		for id := range r.gifs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			units = append(units, r.gifs[id].units...)
+		}
+		units = append(units, r.zeroUnits...)
+		r.sorted = sortUnitsByBandwidthDesc(units)
+		r.sortedDirty = false
+	}
+	return r.sorted
+}
+
+// markDirty invalidates the sorted pool cache after a committed change.
+func (r *cramRun) markDirty() { r.sortedDirty = true }
+
+// feasible runs the allocation test on the current pool with the given
+// hypothetical modification: removed units are skipped and added units are
+// merged into the sorted order.
+func (r *cramRun) feasible(removed map[*Unit]bool, added []*Unit) bool {
+	r.c.stats.PackAttempts++
+	base := r.poolUnits()
+	units := make([]*Unit, 0, len(base)+len(added))
+	// Insert added units (few, typically one) at their sorted positions
+	// while copying the already-sorted base.
+	add := make([]*Unit, len(added))
+	copy(add, added)
+	sort.Slice(add, func(i, j int) bool {
+		if add[i].Load.Bandwidth != add[j].Load.Bandwidth {
+			return add[i].Load.Bandwidth > add[j].Load.Bandwidth
+		}
+		return add[i].ID < add[j].ID
+	})
+	ai := 0
+	for _, u := range base {
+		for ai < len(add) && add[ai].Load.Bandwidth > u.Load.Bandwidth {
+			units = append(units, add[ai])
+			ai++
+		}
+		if removed != nil && removed[u] {
+			continue
+		}
+		units = append(units, u)
+	}
+	units = append(units, add[ai:]...)
+	return feasibleFirstFit(units, r.brokers, r.pubs, r.capacity, r.inCache)
+}
+
+// newUnitID mints a unit ID for a merged cluster.
+func (r *cramRun) newUnitID() string {
+	r.nextUnit++
+	return fmt.Sprintf("cram-u%d", r.nextUnit)
+}
+
+// Allocate implements Algorithm.
+func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Metric == 0 {
+		return nil, fmt.Errorf("CRAM: no closeness metric configured")
+	}
+	c.stats = CRAMStats{InitialUnits: len(in.Units)}
+
+	r := &cramRun{
+		c:         c,
+		capacity:  in.ProfileCapacity,
+		brokers:   sortBrokersByCapacity(in.Brokers),
+		pubs:      in.Publishers,
+		inCache:   make(map[string]bitvector.Load),
+		gifs:      make(map[string]*gif),
+		byKey:     make(map[string]*gif),
+		ps:        poset.New(),
+		blacklist: make(map[string]struct{}),
+	}
+
+	// Group units into GIFs by profile fingerprint (Optimization 1).
+	for _, u := range in.Units {
+		if u.Profile.Empty() {
+			r.zeroUnits = append(r.zeroUnits, u)
+			continue
+		}
+		var key string
+		if c.DisableGIFGrouping {
+			key = "unit:" + u.ID // every unit its own group
+		} else {
+			key = u.Profile.FingerprintKey()
+		}
+		g, ok := r.byKey[key]
+		if !ok {
+			r.nextGIF++
+			g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: u.Profile.Clone()}
+			r.byKey[key] = g
+			r.gifs[g.id] = g
+		}
+		g.units = append(g.units, u)
+	}
+	for _, g := range r.gifs {
+		g.sortUnits()
+	}
+	c.stats.InitialGIFs = len(r.gifs)
+
+	// Initial allocation test without clustering (the algorithm terminates
+	// immediately if the raw pool does not fit).
+	if !r.feasible(nil, nil) {
+		return nil, fmt.Errorf("CRAM: initial BIN PACKING of %d units failed: insufficient broker resources", len(in.Units))
+	}
+
+	// Build the poset (unless running exhaustively).
+	useExhaustive := c.ExhaustiveSearch || c.DisableGIFGrouping
+	if !useExhaustive {
+		ids := make([]string, 0, len(r.gifs))
+		for id := range r.gifs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			g := r.gifs[id]
+			node, err := r.ps.Insert(g.id, g.profile, g)
+			if err != nil {
+				return nil, fmt.Errorf("CRAM: poset insert: %w", err)
+			}
+			g.node = node
+		}
+	}
+
+	// Seed the candidate heap with every GIF's best partner.
+	heap.Init(&r.heap)
+	ids := make([]string, 0, len(r.gifs))
+	for id := range r.gifs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r.pushBest(r.gifs[id], useExhaustive)
+	}
+
+	maxIter := c.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 64 * (len(r.gifs) + 1)
+	}
+
+	for iter := 0; iter < maxIter && r.heap.Len() > 0; iter++ {
+		cand := heap.Pop(&r.heap).(candidate)
+		g, okG := r.gifs[cand.gifID]
+		p, okP := r.gifs[cand.partnerID]
+		if !okG {
+			continue // GIF consumed by an earlier clustering
+		}
+		if !okP || r.blacklisted(cand.gifID, cand.partnerID) ||
+			(cand.gifID == cand.partnerID && len(g.units) < 2) {
+			// Stale candidate: recompute this GIF's best partner.
+			r.pushBest(g, useExhaustive)
+			continue
+		}
+		if cand.closeness <= 0 {
+			continue
+		}
+		if r.clusterPair(g, p, useExhaustive) {
+			c.stats.ClustersAccepted++
+		} else {
+			c.stats.ClustersRejected++
+			r.blacklist[pairKey(g.id, p.id)] = struct{}{}
+			r.pushBest(g, useExhaustive)
+			if p != g {
+				r.pushBest(p, useExhaustive)
+			}
+		}
+	}
+
+	// Materialize the final (feasible by construction) allocation.
+	units := r.poolUnits()
+	a, err := packFirstFit(units, r.brokers, r.pubs, r.capacity, r.inCache)
+	if err != nil {
+		// Cannot happen: every committed pool passed the feasibility test.
+		return nil, fmt.Errorf("CRAM: final pack of feasible pool failed: %w", err)
+	}
+	c.stats.FinalUnits = len(units)
+	return a, nil
+}
+
+// pushBest computes the GIF's best admissible partner and pushes it onto
+// the heap. GIFs with no positive-closeness partner push nothing.
+func (r *cramRun) pushBest(g *gif, exhaustive bool) {
+	// Self-pair: the equal relationship pairs a GIF with itself whenever it
+	// holds more than one unit (Optimization 1's equal case).
+	var best *candidate
+	if len(g.units) >= 2 && !r.blacklisted(g.id, g.id) {
+		c := bitvector.Closeness(r.c.Metric, g.profile, g.profile)
+		r.c.stats.ClosenessComputations++
+		if c > 0 {
+			best = &candidate{gifID: g.id, partnerID: g.id, closeness: c}
+		}
+	}
+	if exhaustive {
+		ids := make([]string, 0, len(r.gifs))
+		for id := range r.gifs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if id == g.id || r.blacklisted(g.id, id) {
+				continue
+			}
+			o := r.gifs[id]
+			c := bitvector.Closeness(r.c.Metric, g.profile, o.profile)
+			r.c.stats.ClosenessComputations++
+			if c > 0 && (best == nil || c > best.closeness) {
+				best = &candidate{gifID: g.id, partnerID: id, closeness: c}
+			}
+		}
+	} else {
+		res := r.ps.SearchClosest(g.profile, r.c.Metric, func(n *poset.Node) bool {
+			return n.ID == g.id || r.blacklisted(g.id, n.ID)
+		})
+		r.c.stats.ClosenessComputations += res.Computations
+		if res.Best != nil && res.Closeness > 0 && (best == nil || res.Closeness > best.closeness) {
+			best = &candidate{gifID: g.id, partnerID: res.Best.ID, closeness: res.Closeness}
+		}
+	}
+	if best != nil {
+		heap.Push(&r.heap, *best)
+	}
+}
+
+// clusterPair attempts the clustering dictated by the relationship between
+// the two GIFs (Optimization 1's case analysis), running the allocation
+// test before committing. It reports whether a clustering was committed.
+func (r *cramRun) clusterPair(a, b *gif, exhaustive bool) bool {
+	if a == b {
+		return r.clusterSelf(a, exhaustive)
+	}
+	rel := bitvector.Relate(a.profile, b.profile)
+	switch rel {
+	case bitvector.RelIntersect, bitvector.RelEmpty:
+		// RelEmpty reaches here only under the XOR metric, which assigns
+		// positive closeness to empty relations; the paper observes such
+		// pairs do get clustered. Optimization 3 applies to intersecting
+		// pairs first.
+		if rel == bitvector.RelIntersect && !r.c.DisableOneToMany && !exhaustive {
+			if r.tryCoveredSet(a, b, exhaustive) || r.tryCoveredSet(b, a, exhaustive) {
+				r.c.stats.OneToManyApplied++
+				return true
+			}
+		}
+		return r.clusterLightest(a, b, exhaustive)
+	case bitvector.RelSuperset:
+		return r.clusterCovering(a, b, exhaustive)
+	case bitvector.RelSubset:
+		return r.clusterCovering(b, a, exhaustive)
+	default:
+		// Equal across distinct GIFs is impossible with grouping on; with
+		// grouping off, treat as a plain merge.
+		return r.clusterLightest(a, b, exhaustive)
+	}
+}
+
+// clusterSelf merges units within one GIF: binary search for the largest
+// cluster of its lightest units that still allocates.
+func (r *cramRun) clusterSelf(g *gif, exhaustive bool) bool {
+	n := len(g.units)
+	if n < 2 {
+		return false
+	}
+	lo, hi, bestK := 2, n, 0
+	for lo <= hi {
+		k := (lo + hi) / 2
+		merged := MergeUnits(r.newUnitID(), r.capacity, g.units[:k]...)
+		removed := make(map[*Unit]bool, k)
+		for _, u := range g.units[:k] {
+			removed[u] = true
+		}
+		if r.feasible(removed, []*Unit{merged}) {
+			bestK = k
+			lo = k + 1
+		} else {
+			hi = k - 1
+		}
+	}
+	if bestK < 2 {
+		return false
+	}
+	merged := MergeUnits(r.newUnitID(), r.capacity, g.units[:bestK]...)
+	g.units = append([]*Unit{}, g.units[bestK:]...)
+	g.units = append(g.units, merged)
+	g.sortUnits()
+	r.markDirty()
+	r.pushBest(g, exhaustive)
+	return true
+}
+
+// clusterLightest merges the lightest unit of each GIF into a new unit
+// whose profile is the OR of the two (the intersect case of Optimization 1
+// and the generic pairwise case).
+func (r *cramRun) clusterLightest(a, b *gif, exhaustive bool) bool {
+	ua, ub := a.units[0], b.units[0]
+	merged := MergeUnits(r.newUnitID(), r.capacity, ua, ub)
+	if !r.feasible(map[*Unit]bool{ua: true, ub: true}, []*Unit{merged}) {
+		return false
+	}
+	r.detachUnit(a, ua, exhaustive)
+	r.detachUnit(b, ub, exhaustive)
+	r.attachUnit(merged, exhaustive)
+	return true
+}
+
+// clusterCovering handles the superset/subset case: the lightest unit of
+// the covering GIF clusters with as many of the covered GIF's units as
+// still allocate (binary search over the covered units sorted ascending by
+// bandwidth). The merged profile equals the covering GIF's profile, so the
+// merged unit joins the covering GIF.
+func (r *cramRun) clusterCovering(covering, covered *gif, exhaustive bool) bool {
+	uc := covering.units[0]
+	n := len(covered.units)
+	lo, hi, bestM := 1, n, 0
+	for lo <= hi {
+		m := (lo + hi) / 2
+		parts := append([]*Unit{uc}, covered.units[:m]...)
+		merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
+		removed := make(map[*Unit]bool, m+1)
+		for _, u := range parts {
+			removed[u] = true
+		}
+		if r.feasible(removed, []*Unit{merged}) {
+			bestM = m
+			lo = m + 1
+		} else {
+			hi = m - 1
+		}
+	}
+	if bestM == 0 {
+		return false
+	}
+	parts := append([]*Unit{uc}, covered.units[:bestM]...)
+	merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
+	covering.removeUnit(uc)
+	for _, u := range covered.units[:bestM] {
+		covered.removeUnit(u)
+	}
+	covering.units = append(covering.units, merged)
+	covering.sortUnits()
+	r.markDirty()
+	if len(covered.units) == 0 {
+		r.dropGIF(covered)
+	} else {
+		r.pushBest(covered, exhaustive)
+	}
+	r.pushBest(covering, exhaustive)
+	return true
+}
+
+// tryCoveredSet implements Optimization 3: build the Covered GIF Set of the
+// parent by greedy set cover over its poset descendants, and commit the
+// parent-CGS cluster when it is allocatable and closer than the original
+// pair.
+func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
+	if parent.node == nil {
+		return false
+	}
+	descendants := r.ps.CoveredBy(parent.node)
+	if len(descendants) == 0 {
+		return false
+	}
+	pairLoad := parent.units[0].Load.Bandwidth + other.units[0].Load.Bandwidth
+
+	// Greedy set cover: repeatedly take the covered GIF contributing the
+	// most bits not yet in the CGS, stopping when the next addition would
+	// push the cluster's load past the original pair's.
+	type covEntry struct {
+		g *gif
+	}
+	var pool []covEntry
+	for _, n := range descendants {
+		dg, ok := n.Payload.(*gif)
+		if !ok || dg == nil {
+			continue
+		}
+		if _, live := r.gifs[dg.id]; !live {
+			continue
+		}
+		pool = append(pool, covEntry{g: dg})
+	}
+	if len(pool) == 0 {
+		return false
+	}
+	cgsProfile := bitvector.NewProfile(r.capacity)
+	var cgs []*gif
+	load := parent.units[0].Load.Bandwidth
+	for len(pool) > 0 {
+		bestIdx, bestNew := -1, 0
+		for i, e := range pool {
+			nb := bitvector.DiffCount(e.g.profile, cgsProfile)
+			r.c.stats.ClosenessComputations++
+			if nb > bestNew {
+				bestNew = nb
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break // no remaining GIF adds coverage
+		}
+		g := pool[bestIdx].g
+		if load+g.units[0].Load.Bandwidth > pairLoad && len(cgs) > 0 {
+			break // would exceed the original pair's load requirement
+		}
+		load += g.units[0].Load.Bandwidth
+		cgs = append(cgs, g)
+		cgsProfile.Or(g.profile)
+		pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+	}
+	if len(cgs) == 0 {
+		return false
+	}
+	// Validity: the CGS must be closer to the parent than the original
+	// pair was.
+	pairCloseness := bitvector.Closeness(r.c.Metric, parent.profile, other.profile)
+	cgsCloseness := bitvector.Closeness(r.c.Metric, cgsProfile, parent.profile)
+	r.c.stats.ClosenessComputations += 2
+	if cgsCloseness <= pairCloseness {
+		return false
+	}
+	// Allocation test: merge the parent's lightest unit with the lightest
+	// unit of every CGS member.
+	puc := parent.units[0]
+	parts := []*Unit{puc}
+	for _, g := range cgs {
+		parts = append(parts, g.units[0])
+	}
+	merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
+	removed := make(map[*Unit]bool, len(parts))
+	for _, u := range parts {
+		removed[u] = true
+	}
+	if !r.feasible(removed, []*Unit{merged}) {
+		return false
+	}
+	// Commit: merged profile equals the parent's (CGS members are covered),
+	// so the merged unit joins the parent GIF.
+	parent.removeUnit(puc)
+	for _, g := range cgs {
+		g.removeUnit(g.units[0])
+		if len(g.units) == 0 {
+			r.dropGIF(g)
+		} else {
+			r.pushBest(g, exhaustive)
+		}
+	}
+	parent.units = append(parent.units, merged)
+	parent.sortUnits()
+	r.markDirty()
+	r.pushBest(parent, exhaustive)
+	return true
+}
+
+// detachUnit removes a unit from its GIF, dropping the GIF when emptied.
+func (r *cramRun) detachUnit(g *gif, u *Unit, exhaustive bool) {
+	g.removeUnit(u)
+	r.markDirty()
+	if len(g.units) == 0 {
+		r.dropGIF(g)
+	} else {
+		r.pushBest(g, exhaustive)
+	}
+}
+
+// attachUnit files a (possibly merged) unit under the GIF matching its
+// profile, creating the GIF — and its poset node — when new.
+func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
+	var key string
+	if r.c.DisableGIFGrouping {
+		key = "unit:" + u.ID
+	} else {
+		key = u.Profile.FingerprintKey()
+	}
+	g, ok := r.byKey[key]
+	if !ok {
+		r.nextGIF++
+		g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: u.Profile.Clone()}
+		r.byKey[key] = g
+		r.gifs[g.id] = g
+		if !exhaustive {
+			// Equal profiles always share a fingerprint, so the byKey miss
+			// guarantees this profile is new to the poset.
+			node, err := r.ps.Insert(g.id, g.profile, g)
+			if err != nil {
+				panic(fmt.Sprintf("allocation: poset insert for new GIF: %v", err))
+			}
+			g.node = node
+		}
+	}
+	g.units = append(g.units, u)
+	g.sortUnits()
+	r.markDirty()
+	r.pushBest(g, exhaustive)
+}
+
+// dropGIF removes an emptied GIF from all indices.
+func (r *cramRun) dropGIF(g *gif) {
+	delete(r.gifs, g.id)
+	if !r.c.DisableGIFGrouping {
+		delete(r.byKey, g.profile.FingerprintKey())
+	} else {
+		for k, v := range r.byKey {
+			if v == g {
+				delete(r.byKey, k)
+				break
+			}
+		}
+	}
+	if g.node != nil {
+		if err := r.ps.Remove(g.id); err != nil {
+			panic(fmt.Sprintf("allocation: poset remove %s: %v", g.id, err))
+		}
+		g.node = nil
+	}
+}

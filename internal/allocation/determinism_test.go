@@ -1,0 +1,43 @@
+package allocation
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+func TestCRAMXorDeterministicAcrossRuns(t *testing.T) {
+	in := stdInput(t)
+	var counts []int
+	for i := 0; i < 3; i++ {
+		cram := &CRAM{Metric: bitvector.MetricXor}
+		a, err := cram.Allocate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, a.NumAllocated())
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("CRAM-XOR broker counts vary across identical runs: %v", counts)
+	}
+}
+
+// TestOneToManyOptimizationFires: optimization 3 must engage on a workload
+// with intersecting partial-overlap groups, and its switch must disable it.
+func TestOneToManyOptimizationFires(t *testing.T) {
+	in := stdInput(t)
+	on := &CRAM{Metric: bitvector.MetricIOS}
+	if _, err := on.Allocate(in); err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats().OneToManyApplied == 0 {
+		t.Error("one-to-many clustering never fired on an overlapping workload")
+	}
+	off := &CRAM{Metric: bitvector.MetricIOS, DisableOneToMany: true}
+	if _, err := off.Allocate(in); err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats().OneToManyApplied != 0 {
+		t.Error("DisableOneToMany did not disable optimization 3")
+	}
+}

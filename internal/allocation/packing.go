@@ -1,0 +1,189 @@
+package allocation
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// brokerState tracks one broker's tentative contents during packing.
+type brokerState struct {
+	spec  *BrokerSpec
+	units []*Unit
+	// agg is the OR of hosted unit profiles (the broker's input filter).
+	agg *bitvector.Profile
+	// inLoad is the estimated load of agg (publications entering the
+	// broker).
+	inLoad bitvector.Load
+	// outLoad is the sum of hosted unit loads (deliveries leaving the
+	// broker).
+	outLoad bitvector.Load
+	// filters is the routing-table entry count.
+	filters int
+}
+
+func newBrokerState(spec *BrokerSpec, capacity int) *brokerState {
+	return &brokerState{spec: spec, agg: bitvector.NewProfile(capacity)}
+}
+
+// unitInLoad returns the unit's input-side load (traffic matching its
+// profile), caching it on first use.
+func unitInLoad(u *Unit, pubs map[string]*bitvector.PublisherStats, cache map[string]bitvector.Load) bitvector.Load {
+	if l, ok := cache[u.ID]; ok {
+		return l
+	}
+	l := bitvector.EstimateLoad(u.Profile, pubs)
+	cache[u.ID] = l
+	return l
+}
+
+// fits applies the paper's two admission criteria (Section IV-A): after
+// accepting the unit, (1) the broker's remaining output bandwidth must stay
+// strictly positive, and (2) its incoming publication rate must not exceed
+// its maximum matching rate (the inverse of the matching delay at the new
+// routing-table size).
+func (bs *brokerState) fits(u *Unit, uIn bitvector.Load, pubs map[string]*bitvector.PublisherStats) bool {
+	if bs.outLoad.Bandwidth+u.Load.Bandwidth >= bs.spec.OutputBandwidth {
+		return false
+	}
+	inter := bitvector.IntersectLoad(bs.agg, u.Profile, pubs)
+	newInRate := bs.inLoad.Rate + uIn.Rate - inter.Rate
+	return newInRate <= bs.spec.Delay.MaxRate(bs.filters+u.Filters)
+}
+
+// accept commits the unit to the broker.
+func (bs *brokerState) accept(u *Unit, uIn bitvector.Load, pubs map[string]*bitvector.PublisherStats) {
+	inter := bitvector.IntersectLoad(bs.agg, u.Profile, pubs)
+	bs.inLoad.Rate += uIn.Rate - inter.Rate
+	bs.inLoad.Bandwidth += uIn.Bandwidth - inter.Bandwidth
+	bs.agg.Or(u.Profile)
+	bs.outLoad = bs.outLoad.Add(u.Load)
+	bs.filters += u.Filters
+	bs.units = append(bs.units, u)
+}
+
+// sortBrokersByCapacity returns the broker pool ordered most-resourceful
+// first. From the paper's experience the broker bottleneck is network I/O,
+// so resourcefulness is total output bandwidth (ties broken by ID for
+// determinism).
+func sortBrokersByCapacity(brokers []*BrokerSpec) []*BrokerSpec {
+	out := make([]*BrokerSpec, len(brokers))
+	copy(out, brokers)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].OutputBandwidth != out[j].OutputBandwidth {
+			return out[i].OutputBandwidth > out[j].OutputBandwidth
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// errUnitUnplaceable reports the unit that no broker could admit.
+type errUnitUnplaceable struct {
+	unitID string
+}
+
+func (e *errUnitUnplaceable) Error() string {
+	return fmt.Sprintf("allocation: unit %q cannot be allocated to any broker", e.unitID)
+}
+
+// packFirstFit places units (in the given order) onto brokers (tried in the
+// given order), implementing the shared core of FBF and BIN PACKING: each
+// unit goes to the first broker with capacity for it. It fails on the first
+// unplaceable unit, exactly as the paper's algorithms terminate.
+func packFirstFit(units []*Unit, brokers []*BrokerSpec, pubs map[string]*bitvector.PublisherStats,
+	capacity int, inCache map[string]bitvector.Load) (*Assignment, error) {
+	states := make([]*brokerState, len(brokers))
+	for i, b := range brokers {
+		states[i] = newBrokerState(b, capacity)
+	}
+	for _, u := range units {
+		uIn := unitInLoad(u, pubs, inCache)
+		placed := false
+		for _, bs := range states {
+			if bs.fits(u, uIn, pubs) {
+				bs.accept(u, uIn, pubs)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, &errUnitUnplaceable{unitID: u.ID}
+		}
+	}
+	out := &Assignment{
+		ByBroker: make(map[string][]*Unit),
+		Loads:    make(map[string]BrokerLoad),
+		Profiles: make(map[string]*bitvector.Profile),
+		Specs:    make(map[string]*BrokerSpec, len(brokers)),
+	}
+	for _, b := range brokers {
+		out.Specs[b.ID] = b
+	}
+	for _, bs := range states {
+		if len(bs.units) == 0 {
+			continue
+		}
+		out.ByBroker[bs.spec.ID] = bs.units
+		out.Loads[bs.spec.ID] = BrokerLoad{Input: bs.inLoad, Output: bs.outLoad, Filters: bs.filters}
+		out.Profiles[bs.spec.ID] = bs.agg
+	}
+	return out, nil
+}
+
+// feasibleFirstFit reports whether the unit set packs into the brokers,
+// without materializing an Assignment. CRAM's allocation test calls this on
+// every clustering attempt.
+func feasibleFirstFit(units []*Unit, brokers []*BrokerSpec, pubs map[string]*bitvector.PublisherStats,
+	capacity int, inCache map[string]bitvector.Load) bool {
+	states := make([]*brokerState, len(brokers))
+	for i, b := range brokers {
+		states[i] = newBrokerState(b, capacity)
+	}
+	for _, u := range units {
+		uIn := unitInLoad(u, pubs, inCache)
+		placed := false
+		for _, bs := range states {
+			if bs.fits(u, uIn, pubs) {
+				bs.accept(u, uIn, pubs)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsBroker reports whether the entire unit set can be hosted by one
+// broker within both capacity constraints. Phase 3's takeover and best-fit
+// optimizations use it to test hypothetical broker contents.
+func FitsBroker(spec *BrokerSpec, units []*Unit, pubs map[string]*bitvector.PublisherStats, capacity int) bool {
+	bs := newBrokerState(spec, capacity)
+	cache := make(map[string]bitvector.Load, len(units))
+	for _, u := range units {
+		uIn := unitInLoad(u, pubs, cache)
+		if !bs.fits(u, uIn, pubs) {
+			return false
+		}
+		bs.accept(u, uIn, pubs)
+	}
+	return true
+}
+
+// sortUnitsByBandwidthDesc orders units highest bandwidth requirement
+// first (ties broken by ID), the BIN PACKING ordering.
+func sortUnitsByBandwidthDesc(units []*Unit) []*Unit {
+	out := make([]*Unit, len(units))
+	copy(out, units)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Load.Bandwidth != out[j].Load.Bandwidth {
+			return out[i].Load.Bandwidth > out[j].Load.Bandwidth
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

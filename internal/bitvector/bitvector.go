@@ -1,0 +1,393 @@
+// Package bitvector implements the windowed bit vectors and
+// subscription/publisher profiles at the heart of the paper's resource
+// allocation framework (Section III-B), together with the four closeness
+// metrics used by the CRAM clustering algorithm (Section IV-C) and the
+// profile relationship detection needed by the poset (Section IV-C.2).
+//
+// A subscription profile holds one bit vector per publisher it received
+// publications from. Bit i of the vector for publisher P is set iff the
+// subscription sank P's publication with message ID FirstID+i. Vectors have
+// bounded capacity (default 1,280 bits); when a publication beyond the
+// window arrives the vector is shifted just enough to record it in the last
+// bit, discarding the oldest history.
+package bitvector
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// DefaultCapacity is the paper's default bit vector size of 1,280 bits. A
+// larger size improves load-estimation accuracy but lengthens profiling.
+const DefaultCapacity = 1280
+
+const wordBits = 64
+
+// Vector is a bounded, windowed bit vector over a publisher's message ID
+// space. The zero Vector is not usable; construct with New.
+type Vector struct {
+	// firstID is the message ID corresponding to bit 0.
+	firstID int
+	// lastID is the highest message ID recorded or slid past; the valid
+	// window is [firstID, lastID]. lastID < firstID means "empty".
+	lastID int
+	// capacity is the maximum window width in bits.
+	capacity int
+	words    []uint64
+}
+
+// New returns an empty vector with the given capacity in bits. Capacity
+// must be positive; DefaultCapacity is used when cap <= 0.
+func New(capacity int) *Vector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Vector{
+		firstID:  0,
+		lastID:   -1,
+		capacity: capacity,
+		words:    make([]uint64, (capacity+wordBits-1)/wordBits),
+	}
+}
+
+// Capacity returns the maximum window width in bits.
+func (v *Vector) Capacity() int { return v.capacity }
+
+// FirstID returns the message ID of bit 0.
+func (v *Vector) FirstID() int { return v.firstID }
+
+// LastID returns the highest message ID observed (set or slid past).
+// For an empty vector LastID() < FirstID().
+func (v *Vector) LastID() int { return v.lastID }
+
+// Window returns the number of valid bits, i.e. the number of message IDs
+// the vector currently has an opinion about.
+func (v *Vector) Window() int {
+	w := v.lastID - v.firstID + 1
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	cp := &Vector{firstID: v.firstID, lastID: v.lastID, capacity: v.capacity, words: make([]uint64, len(v.words))}
+	copy(cp.words, v.words)
+	return cp
+}
+
+// Set records that the publication with the given message ID was received.
+// IDs below the window are dropped (too old); IDs beyond the window slide
+// the window forward per Section III-B: shift just enough that the new ID
+// lands on the last bit, updating FirstID by the number of bits shifted.
+func (v *Vector) Set(id int) {
+	if v.lastID < v.firstID {
+		// Empty vector: anchor the window at this ID.
+		v.firstID = id
+		v.lastID = id
+		v.setBit(0)
+		return
+	}
+	if id < v.firstID {
+		return // older than the retained window
+	}
+	if id > v.lastID {
+		v.lastID = id
+	}
+	idx := id - v.firstID
+	if idx >= v.capacity {
+		shift := idx - v.capacity + 1
+		v.shiftDown(shift)
+		v.firstID += shift
+		idx = v.capacity - 1
+	}
+	v.setBit(idx)
+}
+
+// Observe advances the window to cover the given message ID without setting
+// its bit: the subscription did NOT sink this publication, but the profile
+// must still account for it in the window so that set-bit fractions estimate
+// rates correctly. Publisher profiles expose the last sent ID exactly for
+// this synchronization (Section III-B).
+func (v *Vector) Observe(id int) {
+	if v.lastID < v.firstID {
+		v.firstID = id
+		v.lastID = id
+		return
+	}
+	if id <= v.lastID {
+		return
+	}
+	v.lastID = id
+	idx := id - v.firstID
+	if idx >= v.capacity {
+		shift := idx - v.capacity + 1
+		v.shiftDown(shift)
+		v.firstID += shift
+	}
+}
+
+// Get reports whether the bit for the given message ID is set.
+func (v *Vector) Get(id int) bool {
+	if id < v.firstID || id > v.lastID {
+		return false
+	}
+	idx := id - v.firstID
+	return v.words[idx/wordBits]&(1<<(uint(idx)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Fraction returns set bits divided by the valid window, the per-publisher
+// traffic fraction this profile sinks. An empty vector yields 0.
+func (v *Vector) Fraction() float64 {
+	w := v.Window()
+	if w == 0 {
+		return 0
+	}
+	return float64(v.Count()) / float64(w)
+}
+
+// setBit sets the bit at a window-relative index.
+func (v *Vector) setBit(idx int) {
+	v.words[idx/wordBits] |= 1 << (uint(idx) % wordBits)
+}
+
+// shiftDown discards the n oldest bits, moving every remaining bit toward
+// index 0.
+func (v *Vector) shiftDown(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= v.capacity {
+		for i := range v.words {
+			v.words[i] = 0
+		}
+		return
+	}
+	wordShift := n / wordBits
+	bitShift := uint(n % wordBits)
+	nw := len(v.words)
+	for i := 0; i < nw; i++ {
+		var w uint64
+		if i+wordShift < nw {
+			w = v.words[i+wordShift] >> bitShift
+			if bitShift > 0 && i+wordShift+1 < nw {
+				w |= v.words[i+wordShift+1] << (wordBits - bitShift)
+			}
+		}
+		v.words[i] = w
+	}
+	// Clear any bits beyond capacity that the shift may have exposed.
+	v.maskTail()
+}
+
+// maskTail zeroes bits at positions >= capacity.
+func (v *Vector) maskTail() {
+	rem := v.capacity % wordBits
+	if rem != 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Or merges another vector of the same publisher into v (used when
+// clustering subscriptions, Figure 1). The windows are aligned on message
+// IDs; v's window is extended to cover o's.
+func (v *Vector) Or(o *Vector) {
+	if o.Window() == 0 {
+		return
+	}
+	if v.Window() == 0 {
+		v.firstID = o.firstID
+		v.lastID = o.lastID
+		copy(v.words, o.words)
+		if o.capacity > v.capacity {
+			// Clamp to v's capacity: keep the newest bits.
+			over := o.lastID - o.firstID + 1 - v.capacity
+			if over > 0 {
+				v.shiftDown(over)
+				v.firstID += over
+			}
+		}
+		v.maskTail()
+		return
+	}
+	if o.lastID > v.lastID {
+		v.Observe(o.lastID)
+	}
+	// Fold o's set bits into v, dropping bits older than v's window.
+	for idx := 0; idx < o.Window() && idx < o.capacity; idx++ {
+		if o.words[idx/wordBits]&(1<<(uint(idx)%wordBits)) == 0 {
+			continue
+		}
+		id := o.firstID + idx
+		if id >= v.firstID && id <= v.lastID {
+			v.setBit(id - v.firstID)
+		}
+	}
+}
+
+// overlap computes the aligned common ID range of two vectors; ok=false
+// when the windows do not overlap.
+func overlap(a, b *Vector) (lo, hi int, ok bool) {
+	lo = a.firstID
+	if b.firstID > lo {
+		lo = b.firstID
+	}
+	hi = a.lastID
+	if b.lastID < hi {
+		hi = b.lastID
+	}
+	return lo, hi, lo <= hi
+}
+
+// AndCount returns |a AND b| over the aligned overlap of the two windows.
+func AndCount(a, b *Vector) int {
+	return alignedCount(a, b, func(x, y uint64) uint64 { return x & y })
+}
+
+// XorCount returns |a XOR b| counting, per the Gryphon-derived metric,
+// every set bit outside the common window as a difference as well.
+func XorCount(a, b *Vector) int {
+	n := alignedCount(a, b, func(x, y uint64) uint64 { return x ^ y })
+	n += countOutside(a, b)
+	n += countOutside(b, a)
+	return n
+}
+
+// AndNotCount returns |a AND NOT b| over a's window (bits of a not in b).
+func AndNotCount(a, b *Vector) int {
+	n := alignedCount(a, b, func(x, y uint64) uint64 { return x &^ y })
+	n += countOutside(a, b)
+	return n
+}
+
+// OrCount returns |a OR b| over the union of the windows.
+func OrCount(a, b *Vector) int {
+	n := alignedCount(a, b, func(x, y uint64) uint64 { return x | y })
+	n += countOutside(a, b)
+	n += countOutside(b, a)
+	return n
+}
+
+// countOutside counts a's set bits at IDs outside b's window.
+func countOutside(a, b *Vector) int {
+	lo, hi, ok := overlap(a, b)
+	if !ok {
+		return a.Count()
+	}
+	n := 0
+	if lo > a.firstID {
+		n += a.countRange(a.firstID, lo-1)
+	}
+	if hi < a.lastID {
+		n += a.countRange(hi+1, a.lastID)
+	}
+	return n
+}
+
+// countRange counts set bits with IDs in [from, to], clamped to the
+// window, using word-wise popcounts.
+func (v *Vector) countRange(from, to int) int {
+	if from < v.firstID {
+		from = v.firstID
+	}
+	if to > v.lastID {
+		to = v.lastID
+	}
+	if from > to {
+		return 0
+	}
+	n := 0
+	idx := from - v.firstID
+	end := to - v.firstID
+	for idx <= end {
+		step := wordBits - idx%wordBits
+		if rem := end - idx + 1; rem < step {
+			step = rem
+		}
+		w := extractBits(v.words, idx, step)
+		n += bits.OnesCount64(w)
+		idx += step
+	}
+	return n
+}
+
+// alignedCount applies a word-wise boolean op over the aligned overlap of
+// the two windows and counts the resulting set bits.
+func alignedCount(a, b *Vector, op func(x, y uint64) uint64) int {
+	lo, hi, ok := overlap(a, b)
+	if !ok {
+		return 0
+	}
+	n := 0
+	// Walk the overlap word-by-word in a's coordinates, realigning b.
+	for id := lo; id <= hi; {
+		ai := id - a.firstID
+		bi := id - b.firstID
+		// Bits available in this step: up to the end of a's or b's word.
+		step := wordBits - ai%wordBits
+		if s := wordBits - bi%wordBits; s < step {
+			step = s
+		}
+		if rem := hi - id + 1; rem < step {
+			step = rem
+		}
+		aw := extractBits(a.words, ai, step)
+		bw := extractBits(b.words, bi, step)
+		n += bits.OnesCount64(op(aw, bw) & maskLow(step))
+		id += step
+	}
+	return n
+}
+
+// extractBits reads `count` (<=64) bits starting at bit offset off.
+func extractBits(words []uint64, off, count int) uint64 {
+	w := words[off/wordBits] >> (uint(off) % wordBits)
+	used := wordBits - off%wordBits
+	if used < count && off/wordBits+1 < len(words) {
+		w |= words[off/wordBits+1] << uint(used)
+	}
+	return w & maskLow(count)
+}
+
+// maskLow returns a mask with the low n bits set (n in [0,64]).
+func maskLow(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// String renders the window as a bit string (for tests and debugging);
+// windows wider than 128 bits are elided.
+func (v *Vector) String() string {
+	w := v.Window()
+	var b strings.Builder
+	fmt.Fprintf(&b, "BV[first=%d,last=%d,cap=%d:", v.firstID, v.lastID, v.capacity)
+	n := w
+	if n > 128 {
+		n = 128
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(v.firstID + i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if w > n {
+		b.WriteString("...")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

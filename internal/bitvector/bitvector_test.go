@@ -1,0 +1,539 @@
+package bitvector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyVector(t *testing.T) {
+	v := New(64)
+	if v.Window() != 0 {
+		t.Fatalf("empty vector window = %d, want 0", v.Window())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("empty vector count = %d, want 0", v.Count())
+	}
+	if v.Fraction() != 0 {
+		t.Fatalf("empty vector fraction = %v, want 0", v.Fraction())
+	}
+	if v.Get(0) {
+		t.Fatal("empty vector reports bit 0 set")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	v := New(0)
+	if v.Capacity() != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", v.Capacity(), DefaultCapacity)
+	}
+	if DefaultCapacity != 1280 {
+		t.Fatalf("paper default capacity is 1280, got %d", DefaultCapacity)
+	}
+}
+
+func TestSetAndGet(t *testing.T) {
+	v := New(128)
+	for _, id := range []int{5, 7, 100, 42} {
+		v.Set(id)
+	}
+	for _, id := range []int{5, 7, 100, 42} {
+		if !v.Get(id) {
+			t.Errorf("bit %d not set", id)
+		}
+	}
+	for _, id := range []int{6, 8, 99, 101} {
+		if v.Get(id) {
+			t.Errorf("bit %d unexpectedly set", id)
+		}
+	}
+	if v.Count() != 4 {
+		t.Fatalf("count = %d, want 4", v.Count())
+	}
+	if v.FirstID() != 5 {
+		t.Fatalf("firstID = %d, want 5 (anchored at first set)", v.FirstID())
+	}
+	if v.LastID() != 100 {
+		t.Fatalf("lastID = %d, want 100", v.LastID())
+	}
+}
+
+// TestPaperShiftExample reproduces the worked example from Section III-B:
+// bit vector length 10, first-bit counter at 100, incoming publication ID
+// 119 → shift by 10 bits, set bit at index 9, counter becomes 110.
+func TestPaperShiftExample(t *testing.T) {
+	v := New(10)
+	v.Set(100) // anchor window at 100
+	for id := 101; id <= 109; id++ {
+		v.Set(id) // fill the window [100,109]
+	}
+	if v.FirstID() != 100 {
+		t.Fatalf("firstID = %d, want 100", v.FirstID())
+	}
+	v.Set(119)
+	if v.FirstID() != 110 {
+		t.Fatalf("after shift firstID = %d, want 110", v.FirstID())
+	}
+	if !v.Get(119) {
+		t.Fatal("bit for ID 119 should be set at index 9")
+	}
+	for id := 100; id <= 109; id++ {
+		if v.Get(id) {
+			t.Errorf("pre-shift bit %d should have been discarded", id)
+		}
+	}
+}
+
+func TestSetBelowWindowDropped(t *testing.T) {
+	v := New(10)
+	v.Set(100)
+	v.Set(119) // slides window to [110,119]
+	v.Set(105) // below window: dropped
+	if v.Get(105) {
+		t.Fatal("bit below window must not be recorded")
+	}
+	if v.Count() != 1 {
+		t.Fatalf("count = %d, want 1", v.Count())
+	}
+}
+
+func TestObserveExtendsWindowWithoutSetting(t *testing.T) {
+	v := New(100)
+	v.Set(0)
+	v.Observe(49)
+	if v.Window() != 50 {
+		t.Fatalf("window = %d, want 50", v.Window())
+	}
+	if v.Count() != 1 {
+		t.Fatalf("count = %d, want 1", v.Count())
+	}
+	if v.Fraction() != 0.02 {
+		t.Fatalf("fraction = %v, want 0.02", v.Fraction())
+	}
+}
+
+func TestObserveSlidesWindow(t *testing.T) {
+	v := New(10)
+	for id := 0; id < 10; id++ {
+		v.Set(id)
+	}
+	v.Observe(14) // slides 5 bits off
+	if v.FirstID() != 5 {
+		t.Fatalf("firstID = %d, want 5", v.FirstID())
+	}
+	if v.Count() != 5 {
+		t.Fatalf("count = %d, want 5", v.Count())
+	}
+}
+
+func TestOrSamePublisher(t *testing.T) {
+	// Figure 1: S1 has Adv1 bits {75,76,77}, S2 has Adv1 bits {77,78,79};
+	// the OR has {75..79}.
+	a := New(64)
+	for _, id := range []int{75, 76, 77} {
+		a.Set(id)
+	}
+	b := New(64)
+	for _, id := range []int{77, 78, 79} {
+		b.Set(id)
+	}
+	a.Or(b)
+	for id := 75; id <= 79; id++ {
+		if !a.Get(id) {
+			t.Errorf("OR missing bit %d", id)
+		}
+	}
+	if a.Count() != 5 {
+		t.Fatalf("OR count = %d, want 5", a.Count())
+	}
+}
+
+func TestOrIntoEmpty(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	b.Set(10)
+	b.Set(20)
+	a.Or(b)
+	if a.Count() != 2 || !a.Get(10) || !a.Get(20) {
+		t.Fatalf("OR into empty: got count=%d", a.Count())
+	}
+	// The source must be unchanged.
+	if b.Count() != 2 {
+		t.Fatalf("source modified: count=%d", b.Count())
+	}
+}
+
+func TestAlignedCounts(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	for _, id := range []int{1, 2, 3, 4} {
+		a.Set(id)
+	}
+	for _, id := range []int{3, 4, 5, 6} {
+		b.Set(id)
+	}
+	// Extend both windows to a common range so "outside" bits are clear.
+	a.Observe(6)
+	b.Observe(6)
+	b.Observe(1)
+	if got := AndCount(a, b); got != 2 {
+		t.Errorf("AndCount = %d, want 2", got)
+	}
+	if got := OrCount(a, b); got != 6 {
+		t.Errorf("OrCount = %d, want 6", got)
+	}
+	if got := XorCount(a, b); got != 4 {
+		t.Errorf("XorCount = %d, want 4", got)
+	}
+	if got := AndNotCount(a, b); got != 2 {
+		t.Errorf("AndNotCount(a,b) = %d, want 2", got)
+	}
+	if got := AndNotCount(b, a); got != 2 {
+		t.Errorf("AndNotCount(b,a) = %d, want 2", got)
+	}
+}
+
+func TestCountsWithDisjointWindows(t *testing.T) {
+	a := New(16)
+	b := New(16)
+	a.Set(0)
+	a.Set(1)
+	b.Set(100)
+	b.Set(101)
+	if got := AndCount(a, b); got != 0 {
+		t.Errorf("AndCount disjoint = %d, want 0", got)
+	}
+	if got := OrCount(a, b); got != 4 {
+		t.Errorf("OrCount disjoint = %d, want 4", got)
+	}
+	if got := XorCount(a, b); got != 4 {
+		t.Errorf("XorCount disjoint = %d, want 4", got)
+	}
+}
+
+func TestCountsWithMisalignedWindows(t *testing.T) {
+	// Windows overlap but start at different IDs, exercising the bit
+	// realignment path across word boundaries.
+	a := New(256)
+	b := New(256)
+	for id := 0; id < 200; id += 3 {
+		a.Set(id)
+	}
+	for id := 63; id < 263; id += 3 {
+		b.Set(id)
+	}
+	a.Observe(199)
+	b.Observe(262)
+	// Common window [63,199]: a has bits ≡0 mod 3, b has ≡0 mod 3
+	// (63 ≡ 0 mod 3) so they coincide exactly there.
+	want := 0
+	for id := 63; id <= 199; id++ {
+		if id%3 == 0 {
+			want++
+		}
+	}
+	if got := AndCount(a, b); got != want {
+		t.Errorf("AndCount misaligned = %d, want %d", got, want)
+	}
+}
+
+// model is a brute-force reference implementation of the windowed vector
+// using a set of ints.
+type model struct {
+	first, last, capacity int
+	set                   map[int]bool
+}
+
+func newModel(capacity int) *model {
+	return &model{first: 0, last: -1, capacity: capacity, set: make(map[int]bool)}
+}
+
+func (m *model) Set(id int) {
+	if m.last < m.first {
+		m.first = id
+		m.last = id
+		m.set[id] = true
+		return
+	}
+	if id < m.first {
+		return
+	}
+	if id > m.last {
+		m.last = id
+	}
+	if id-m.first >= m.capacity {
+		m.first = id - m.capacity + 1
+		for k := range m.set {
+			if k < m.first {
+				delete(m.set, k)
+			}
+		}
+	}
+	m.set[id] = true
+}
+
+func (m *model) Observe(id int) {
+	if m.last < m.first {
+		m.first = id
+		m.last = id
+		return
+	}
+	if id <= m.last {
+		return
+	}
+	m.last = id
+	if id-m.first >= m.capacity {
+		m.first = id - m.capacity + 1
+		for k := range m.set {
+			if k < m.first {
+				delete(m.set, k)
+			}
+		}
+	}
+}
+
+func (m *model) Count() int { return len(m.set) }
+
+// TestQuickVectorMatchesModel drives random Set/Observe sequences through
+// both the real vector and the set model and checks count, window, and
+// per-bit agreement.
+func TestQuickVectorMatchesModel(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(200)
+		v := New(capacity)
+		m := newModel(capacity)
+		cursor := 0
+		for _, op := range ops {
+			step := int(op % 37)
+			cursor += step
+			if op%5 == 0 {
+				v.Observe(cursor)
+				m.Observe(cursor)
+			} else {
+				v.Set(cursor)
+				m.Set(cursor)
+			}
+		}
+		if v.Count() != m.Count() {
+			t.Logf("count mismatch: vector=%d model=%d (cap=%d)", v.Count(), m.Count(), capacity)
+			return false
+		}
+		if v.Window() != m.last-m.first+1 && !(m.last < m.first && v.Window() == 0) {
+			t.Logf("window mismatch: vector=%d model=[%d,%d]", v.Window(), m.first, m.last)
+			return false
+		}
+		for id := m.first; id <= m.last; id++ {
+			if v.Get(id) != m.set[id] {
+				t.Logf("bit %d mismatch: vector=%v model=%v", id, v.Get(id), m.set[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlignedOpsMatchModel checks And/Or/Xor/AndNot counts against the
+// set-model equivalents on random vector pairs.
+func TestQuickAlignedOpsMatchModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 16 + rng.Intn(300)
+		build := func() (*Vector, map[int]bool, int, int) {
+			v := New(capacity)
+			start := rng.Intn(100)
+			width := 1 + rng.Intn(capacity)
+			set := make(map[int]bool)
+			for i := 0; i < width; i++ {
+				if rng.Intn(2) == 0 {
+					v.Set(start + i)
+					set[start+i] = true
+				}
+			}
+			v.Observe(start + width - 1)
+			// The model window after all ops:
+			return v, set, v.FirstID(), v.LastID()
+		}
+		a, sa, af, al := build()
+		b, sb, bf, bl := build()
+		inWin := func(id, f, l int) bool { return id >= f && id <= l }
+		var and, or, xor, andnotAB, andnotBA int
+		lo, hi := af, al
+		if bf < lo {
+			lo = bf
+		}
+		if bl > hi {
+			hi = bl
+		}
+		for id := lo; id <= hi; id++ {
+			x := sa[id] && inWin(id, af, al)
+			y := sb[id] && inWin(id, bf, bl)
+			both := id >= af && id <= al && id >= bf && id <= bl
+			if both && x && y {
+				and++
+			}
+			if x || y {
+				or++
+			}
+			// XorCount counts differences in the overlap plus all set bits
+			// outside the common window.
+			if both {
+				if x != y {
+					xor++
+				}
+			} else if x || y {
+				xor++
+			}
+			if x && !(both && y) {
+				andnotAB++
+			}
+			if y && !(both && x) {
+				andnotBA++
+			}
+		}
+		ok := true
+		if got := AndCount(a, b); got != and {
+			t.Logf("AndCount=%d want %d", got, and)
+			ok = false
+		}
+		if got := OrCount(a, b); got != or {
+			t.Logf("OrCount=%d want %d", got, or)
+			ok = false
+		}
+		if got := XorCount(a, b); got != xor {
+			t.Logf("XorCount=%d want %d", got, xor)
+			ok = false
+		}
+		if got := AndNotCount(a, b); got != andnotAB {
+			t.Logf("AndNotCount(a,b)=%d want %d", got, andnotAB)
+			ok = false
+		}
+		if got := AndNotCount(b, a); got != andnotBA {
+			t.Logf("AndNotCount(b,a)=%d want %d", got, andnotBA)
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrMatchesModel checks Or against set union on random pairs.
+func TestQuickOrMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 16 + rng.Intn(200)
+		a := New(capacity)
+		b := New(capacity)
+		sa := make(map[int]bool)
+		sb := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			id := rng.Intn(capacity * 2)
+			if rng.Intn(2) == 0 {
+				a.Set(id)
+			} else {
+				b.Set(id)
+			}
+		}
+		// Rebuild reference sets from the vectors themselves (window
+		// semantics already tested above).
+		for id := a.FirstID(); id <= a.LastID(); id++ {
+			if a.Get(id) {
+				sa[id] = true
+			}
+		}
+		for id := b.FirstID(); id <= b.LastID(); id++ {
+			if b.Get(id) {
+				sb[id] = true
+			}
+		}
+		a.Or(b)
+		// Every bit of the union that is within a's final window must be
+		// set; bits outside may have been discarded by capacity.
+		for id := range sb {
+			sa[id] = true
+		}
+		for id := a.FirstID(); id <= a.LastID(); id++ {
+			if sa[id] && !a.Get(id) {
+				t.Logf("union bit %d missing after Or", id)
+				return false
+			}
+			if !sa[id] && a.Get(id) {
+				t.Logf("spurious bit %d after Or", id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(32)
+	v.Set(1)
+	c := v.Clone()
+	c.Set(2)
+	if v.Get(2) {
+		t.Fatal("clone write leaked into original")
+	}
+	if !c.Get(1) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestShiftAcrossManyWords(t *testing.T) {
+	v := New(256)
+	for id := 0; id < 256; id++ {
+		v.Set(id)
+	}
+	v.Set(256 + 130) // shift by 131
+	if v.FirstID() != 131 {
+		t.Fatalf("firstID = %d, want 131", v.FirstID())
+	}
+	want := 256 - 131 + 1 // surviving bits + the new one
+	if v.Count() != want {
+		t.Fatalf("count = %d, want %d", v.Count(), want)
+	}
+}
+
+func BenchmarkVectorSet(b *testing.B) {
+	v := New(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Set(i)
+	}
+}
+
+func BenchmarkAndCountAligned(b *testing.B) {
+	x := New(DefaultCapacity)
+	y := New(DefaultCapacity)
+	for i := 0; i < DefaultCapacity; i += 2 {
+		x.Set(i)
+		y.Set(i + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCount(x, y)
+	}
+}
+
+func BenchmarkAndCountMisaligned(b *testing.B) {
+	x := New(DefaultCapacity)
+	y := New(DefaultCapacity)
+	for i := 0; i < DefaultCapacity; i += 2 {
+		x.Set(i)
+		y.Set(i + 13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCount(x, y)
+	}
+}

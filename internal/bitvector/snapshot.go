@@ -1,0 +1,90 @@
+package bitvector
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// VectorSnapshot is a serializable image of a Vector. Words are encoded as
+// base64 of little-endian uint64s to keep BIA messages compact.
+type VectorSnapshot struct {
+	First int    `json:"first"`
+	Last  int    `json:"last"`
+	Cap   int    `json:"cap"`
+	Words string `json:"words"`
+}
+
+// Snapshot captures the vector's full state.
+func (v *Vector) Snapshot() VectorSnapshot {
+	buf := make([]byte, 8*len(v.words))
+	for i, w := range v.words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return VectorSnapshot{
+		First: v.firstID,
+		Last:  v.lastID,
+		Cap:   v.capacity,
+		Words: base64.StdEncoding.EncodeToString(buf),
+	}
+}
+
+// FromSnapshot reconstructs a vector from its snapshot.
+func FromSnapshot(s VectorSnapshot) (*Vector, error) {
+	if s.Cap <= 0 {
+		return nil, fmt.Errorf("bitvector: snapshot capacity %d must be positive", s.Cap)
+	}
+	raw, err := base64.StdEncoding.DecodeString(s.Words)
+	if err != nil {
+		return nil, fmt.Errorf("bitvector: decode snapshot words: %w", err)
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("bitvector: snapshot words length %d not a multiple of 8", len(raw))
+	}
+	v := New(s.Cap)
+	if len(raw)/8 != len(v.words) {
+		return nil, fmt.Errorf("bitvector: snapshot has %d words, capacity %d needs %d",
+			len(raw)/8, s.Cap, len(v.words))
+	}
+	v.firstID = s.First
+	v.lastID = s.Last
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	v.maskTail()
+	return v, nil
+}
+
+// ProfileSnapshot is a serializable image of a Profile.
+type ProfileSnapshot struct {
+	Cap     int                       `json:"cap"`
+	Vectors map[string]VectorSnapshot `json:"vectors"`
+}
+
+// Snapshot captures the profile's full state.
+func (p *Profile) Snapshot() ProfileSnapshot {
+	out := ProfileSnapshot{Cap: p.capacity, Vectors: make(map[string]VectorSnapshot, len(p.vectors))}
+	for advID, v := range p.vectors {
+		out.Vectors[advID] = v.Snapshot()
+	}
+	return out
+}
+
+// ProfileFromSnapshot reconstructs a profile.
+func ProfileFromSnapshot(s ProfileSnapshot) (*Profile, error) {
+	p := NewProfile(s.Cap)
+	keys := make([]string, 0, len(s.Vectors))
+	for k := range s.Vectors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, advID := range keys {
+		v, err := FromSnapshot(s.Vectors[advID])
+		if err != nil {
+			return nil, fmt.Errorf("bitvector: profile vector %q: %w", advID, err)
+		}
+		p.vectors[advID] = v
+	}
+	return p, nil
+}

@@ -1,0 +1,390 @@
+// Package broker implements a PADRES-style filter-based content-based
+// publish/subscribe broker: advertisements flood the overlay,
+// subscriptions are routed along the reverse paths of intersecting
+// advertisements, and publications are routed along the reverse paths of
+// matching subscriptions — guaranteeing no false-positive deliveries.
+//
+// The broker is split in two layers. Core (this file) is a purely
+// synchronous state machine: Handle consumes one message and appends the
+// messages to emit. The deterministic virtual-time simulator drives Cores
+// directly; the live runtime (node.go) wraps a Core with an event loop,
+// links, and a bandwidth limiter. Integrated into the Core is the CBC — the
+// CROC Back-end Component of Section III — which profiles local
+// subscriptions with bit vectors, measures local publishers, and
+// participates in the BIR/BIA information-gathering protocol.
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/greenps/greenps/internal/matching"
+	"github.com/greenps/greenps/internal/message"
+)
+
+// EndpointKind distinguishes neighbor brokers from attached clients.
+type EndpointKind int
+
+// Endpoint kinds.
+const (
+	KindBroker EndpointKind = iota + 1
+	KindClient
+)
+
+// Endpoint identifies a message source or destination attached to a broker.
+type Endpoint struct {
+	Kind EndpointKind
+	ID   string
+}
+
+// String renders the endpoint.
+func (e Endpoint) String() string {
+	if e.Kind == KindBroker {
+		return "broker:" + e.ID
+	}
+	return "client:" + e.ID
+}
+
+// Outgoing pairs a destination endpoint with the envelope to send there.
+type Outgoing struct {
+	To  Endpoint
+	Env *message.Envelope
+}
+
+// Clock supplies the broker's notion of elapsed time in seconds; the live
+// runtime uses wall time, the simulator a virtual clock. Publisher rates in
+// BIA messages are derived from it.
+type Clock func() float64
+
+// Config configures a Core.
+type Config struct {
+	// ID is the broker's identifier (required).
+	ID string
+	// URL is the address reported in BIA messages.
+	URL string
+	// Delay is the matching-delay model reported in BIA messages.
+	Delay message.MatchingDelayFn
+	// OutputBandwidth is the total output bandwidth reported in BIA
+	// messages, bytes/s.
+	OutputBandwidth float64
+	// ProfileCapacity is the bit-vector capacity for subscription
+	// profiles (0 = default 1280).
+	ProfileCapacity int
+	// Clock is required.
+	Clock Clock
+}
+
+// advEntry records a known advertisement and the endpoint it arrived from.
+type advEntry struct {
+	adv  *message.Advertisement
+	from Endpoint
+}
+
+// Counters accumulates the broker's traffic totals, the raw material of
+// the evaluation's "broker message rate" metric.
+type Counters struct {
+	MsgsIn   int
+	MsgsOut  int
+	BytesIn  int
+	BytesOut int
+}
+
+// Total returns input plus output messages.
+func (c Counters) Total() int { return c.MsgsIn + c.MsgsOut }
+
+// Core is the synchronous broker state machine. It is not safe for
+// concurrent use; wrap it in a Node for live deployments.
+type Core struct {
+	cfg    Config
+	engine *matching.Engine
+	// subHops maps subscription ID to the endpoint it arrived from.
+	subHops map[string]Endpoint
+	// subForwarded tracks which broker neighbors each subscription was
+	// already forwarded to.
+	subForwarded map[string]map[string]bool
+	advs         map[string]advEntry
+	neighbors    map[string]bool
+	clients      map[string]bool
+	cbc          *cbc
+	counters     Counters
+}
+
+// New constructs a Core.
+func New(cfg Config) (*Core, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("broker: config requires an ID")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("broker: config requires a clock")
+	}
+	return &Core{
+		cfg:          cfg,
+		engine:       matching.NewEngine(),
+		subHops:      make(map[string]Endpoint),
+		subForwarded: make(map[string]map[string]bool),
+		advs:         make(map[string]advEntry),
+		neighbors:    make(map[string]bool),
+		clients:      make(map[string]bool),
+		cbc:          newCBC(cfg.ProfileCapacity, cfg.Clock),
+	}, nil
+}
+
+// ID returns the broker's identifier.
+func (c *Core) ID() string { return c.cfg.ID }
+
+// Counters returns the traffic totals so far.
+func (c *Core) Counters() Counters { return c.counters }
+
+// NumSubscriptions returns the routing-table size.
+func (c *Core) NumSubscriptions() int { return c.engine.Len() }
+
+// MatchingDelaySeconds returns the modeled per-publication matching delay
+// at the current routing-table size (the paper's linear model).
+func (c *Core) MatchingDelaySeconds() float64 {
+	return c.cfg.Delay.Delay(c.engine.Len())
+}
+
+// OutputBandwidth returns the broker's configured output bandwidth in
+// bytes/s.
+func (c *Core) OutputBandwidth() float64 { return c.cfg.OutputBandwidth }
+
+// Info exposes the broker's BIA contribution directly; the simulator's
+// measurement phase uses it, and tests inspect it.
+func (c *Core) Info() message.BrokerInfo { return c.info() }
+
+// Neighbors returns the connected broker IDs, sorted.
+func (c *Core) Neighbors() []string {
+	out := make([]string, 0, len(c.neighbors))
+	for id := range c.neighbors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddNeighbor registers a broker link.
+func (c *Core) AddNeighbor(id string) { c.neighbors[id] = true }
+
+// RemoveNeighbor drops a broker link.
+func (c *Core) RemoveNeighbor(id string) { delete(c.neighbors, id) }
+
+// AddClient registers an attached client.
+func (c *Core) AddClient(id string) { c.clients[id] = true }
+
+// RemoveClient detaches a client.
+func (c *Core) RemoveClient(id string) { delete(c.clients, id) }
+
+// Handle processes one incoming envelope and appends every message the
+// broker must emit to out. It returns out (possibly grown).
+func (c *Core) Handle(from Endpoint, env *message.Envelope, out []Outgoing) ([]Outgoing, error) {
+	if err := env.Validate(); err != nil {
+		return out, fmt.Errorf("broker %s: %w", c.cfg.ID, err)
+	}
+	c.counters.MsgsIn++
+	c.counters.BytesIn += env.EncodedSize()
+	before := len(out)
+	var err error
+	switch env.Kind {
+	case message.KindAdvertisement:
+		out = c.handleAdvertisement(from, env.Adv, out)
+	case message.KindUnadvertisement:
+		out = c.handleUnadvertisement(from, env.UnadvID, out)
+	case message.KindSubscription:
+		out, err = c.handleSubscription(from, env.Sub, out)
+	case message.KindUnsubscription:
+		out, err = c.handleUnsubscription(from, env.UnsubID, out)
+	case message.KindPublication:
+		out = c.handlePublication(from, env.Pub, out)
+	case message.KindBIR:
+		out = c.handleBIR(from, env.BIR, out)
+	case message.KindBIA:
+		out = c.handleBIA(from, env.BIA, out)
+	}
+	for _, o := range out[before:] {
+		c.counters.MsgsOut++
+		c.counters.BytesOut += o.Env.EncodedSize()
+	}
+	return out, err
+}
+
+// handleAdvertisement stores and floods the advertisement, re-forwards any
+// intersecting subscriptions toward the advertiser (necessary when clients
+// migrate during reconfiguration), and registers local publishers with the
+// CBC.
+func (c *Core) handleAdvertisement(from Endpoint, adv *message.Advertisement, out []Outgoing) []Outgoing {
+	if _, dup := c.advs[adv.ID]; dup {
+		return out // flood duplicate in a non-tree overlay; trees never hit this
+	}
+	c.advs[adv.ID] = advEntry{adv: adv, from: from}
+	if from.Kind == KindClient {
+		c.cbc.registerPublisher(adv)
+	}
+	env := &message.Envelope{Kind: message.KindAdvertisement, Adv: adv}
+	for _, n := range c.Neighbors() {
+		if from.Kind == KindBroker && n == from.ID {
+			continue
+		}
+		out = append(out, Outgoing{To: Endpoint{Kind: KindBroker, ID: n}, Env: env})
+	}
+	// Route existing subscriptions toward the new advertisement.
+	if from.Kind == KindBroker {
+		for _, sub := range c.engine.Subscriptions() {
+			if !adv.IntersectsSubscription(sub) {
+				continue
+			}
+			if c.subHops[sub.ID].Kind == KindBroker && c.subHops[sub.ID].ID == from.ID {
+				continue
+			}
+			if c.subForwarded[sub.ID][from.ID] {
+				continue
+			}
+			markForwarded(c.subForwarded, sub.ID, from.ID)
+			out = append(out, Outgoing{
+				To:  Endpoint{Kind: KindBroker, ID: from.ID},
+				Env: &message.Envelope{Kind: message.KindSubscription, Sub: sub},
+			})
+		}
+	}
+	return out
+}
+
+func markForwarded(m map[string]map[string]bool, subID, brokerID string) {
+	set, ok := m[subID]
+	if !ok {
+		set = make(map[string]bool)
+		m[subID] = set
+	}
+	set[brokerID] = true
+}
+
+// handleUnadvertisement removes the advertisement and floods the removal.
+func (c *Core) handleUnadvertisement(from Endpoint, advID string, out []Outgoing) []Outgoing {
+	entry, ok := c.advs[advID]
+	if !ok {
+		return out
+	}
+	delete(c.advs, advID)
+	if entry.from.Kind == KindClient {
+		c.cbc.unregisterPublisher(advID)
+	}
+	env := &message.Envelope{Kind: message.KindUnadvertisement, UnadvID: advID}
+	for _, n := range c.Neighbors() {
+		if from.Kind == KindBroker && n == from.ID {
+			continue
+		}
+		out = append(out, Outgoing{To: Endpoint{Kind: KindBroker, ID: n}, Env: env})
+	}
+	return out
+}
+
+// handleSubscription indexes the subscription and forwards it toward every
+// neighbor that is the last hop of an intersecting advertisement.
+func (c *Core) handleSubscription(from Endpoint, sub *message.Subscription, out []Outgoing) ([]Outgoing, error) {
+	if _, dup := c.subHops[sub.ID]; dup {
+		return out, nil
+	}
+	if err := c.engine.Add(sub); err != nil {
+		return out, fmt.Errorf("broker %s: %w", c.cfg.ID, err)
+	}
+	c.subHops[sub.ID] = from
+	if from.Kind == KindClient {
+		c.cbc.registerSubscription(sub)
+	}
+	env := &message.Envelope{Kind: message.KindSubscription, Sub: sub}
+	targets := make(map[string]bool)
+	for _, entry := range c.advs {
+		if entry.from.Kind != KindBroker {
+			continue
+		}
+		if from.Kind == KindBroker && entry.from.ID == from.ID {
+			continue
+		}
+		if entry.adv.IntersectsSubscription(sub) {
+			targets[entry.from.ID] = true
+		}
+	}
+	ids := make([]string, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if c.subForwarded[sub.ID][id] {
+			continue
+		}
+		markForwarded(c.subForwarded, sub.ID, id)
+		out = append(out, Outgoing{To: Endpoint{Kind: KindBroker, ID: id}, Env: env})
+	}
+	return out, nil
+}
+
+// handleUnsubscription removes the subscription and propagates the removal
+// along the paths the subscription was forwarded to.
+func (c *Core) handleUnsubscription(from Endpoint, subID string, out []Outgoing) ([]Outgoing, error) {
+	if _, ok := c.subHops[subID]; !ok {
+		return out, nil
+	}
+	hop := c.subHops[subID]
+	if err := c.engine.Remove(subID); err != nil {
+		return out, fmt.Errorf("broker %s: %w", c.cfg.ID, err)
+	}
+	delete(c.subHops, subID)
+	if hop.Kind == KindClient {
+		c.cbc.unregisterSubscription(subID)
+	}
+	env := &message.Envelope{Kind: message.KindUnsubscription, UnsubID: subID}
+	for id := range c.subForwarded[subID] {
+		out = append(out, Outgoing{To: Endpoint{Kind: KindBroker, ID: id}, Env: env})
+	}
+	delete(c.subForwarded, subID)
+	return out, nil
+}
+
+// handlePublication matches the publication, delivers to local subscribers
+// (one copy each), forwards one copy per neighbor broker with matching
+// subscriptions, and lets the CBC profile everything.
+func (c *Core) handlePublication(from Endpoint, pub *message.Publication, out []Outgoing) []Outgoing {
+	if from.Kind == KindClient {
+		c.cbc.recordPublication(pub)
+	}
+	brokerTargets := make(map[string]bool)
+	var clientTargets []Endpoint
+	c.engine.MatchFunc(pub, func(sub *message.Subscription) {
+		hop, ok := c.subHops[sub.ID]
+		if !ok {
+			return
+		}
+		switch hop.Kind {
+		case KindBroker:
+			if from.Kind == KindBroker && hop.ID == from.ID {
+				return
+			}
+			brokerTargets[hop.ID] = true
+		case KindClient:
+			clientTargets = append(clientTargets, hop)
+			c.cbc.recordDelivery(sub.ID, pub)
+		}
+	})
+	// One copy per neighbor broker, hop count incremented.
+	ids := make([]string, 0, len(brokerTargets))
+	for id := range brokerTargets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fwd := pub.Clone()
+		fwd.Hops++
+		out = append(out, Outgoing{
+			To:  Endpoint{Kind: KindBroker, ID: id},
+			Env: &message.Envelope{Kind: message.KindPublication, Pub: fwd},
+		})
+	}
+	sort.Slice(clientTargets, func(i, j int) bool { return clientTargets[i].ID < clientTargets[j].ID })
+	for _, cl := range clientTargets {
+		out = append(out, Outgoing{
+			To:  cl,
+			Env: &message.Envelope{Kind: message.KindPublication, Pub: pub.Clone()},
+		})
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package broker
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is the per-broker output bandwidth throttle of Section VI-A: a
+// token bucket refilled at the broker's configured output bandwidth. Every
+// outbound byte of a live Node passes through Wait, which blocks until the
+// bucket covers the message — exactly how the paper's heterogeneous
+// experiments constrain the 50%- and 25%-tier brokers.
+type Limiter struct {
+	mu sync.Mutex
+	// rate is bytes/s; <= 0 disables throttling.
+	rate float64
+	// burst is the bucket capacity in bytes.
+	burst  float64
+	tokens float64
+	last   time.Time
+	// sleep is indirected for tests.
+	sleep func(time.Duration)
+}
+
+// NewLimiter creates a limiter at the given rate (bytes/s). A rate <= 0
+// disables throttling. The burst defaults to one second of traffic.
+func NewLimiter(rate float64) *Limiter {
+	return &Limiter{
+		rate:   rate,
+		burst:  rate,
+		tokens: rate,
+		last:   time.Now(),
+		sleep:  time.Sleep,
+	}
+}
+
+// Wait blocks until n bytes of budget are available and consumes them.
+func (l *Limiter) Wait(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.rate <= 0 {
+		l.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	l.tokens -= float64(n)
+	var wait time.Duration
+	if l.tokens < 0 {
+		wait = time.Duration(-l.tokens / l.rate * float64(time.Second))
+	}
+	sleep := l.sleep
+	l.mu.Unlock()
+	if wait > 0 {
+		sleep(wait)
+	}
+}

@@ -1,0 +1,51 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterUnthrottledNeverSleeps(t *testing.T) {
+	l := NewLimiter(0)
+	l.sleep = func(time.Duration) { t.Fatal("unthrottled limiter slept") }
+	for i := 0; i < 100; i++ {
+		l.Wait(1 << 20)
+	}
+}
+
+func TestLimiterNilIsSafe(t *testing.T) {
+	var l *Limiter
+	l.Wait(100) // must not panic
+}
+
+func TestLimiterThrottlesAtRate(t *testing.T) {
+	l := NewLimiter(1000) // 1000 B/s, burst 1000
+	var slept time.Duration
+	l.sleep = func(d time.Duration) { slept += d }
+	// First 1000 bytes ride the initial burst.
+	l.Wait(1000)
+	if slept != 0 {
+		t.Fatalf("burst consumed with sleep %v", slept)
+	}
+	// The next 500 bytes must wait ~0.5 s (minus any refill).
+	l.Wait(500)
+	if slept < 400*time.Millisecond || slept > 600*time.Millisecond {
+		t.Fatalf("slept %v for 500 bytes at 1000 B/s", slept)
+	}
+}
+
+func TestLimiterBurstCap(t *testing.T) {
+	l := NewLimiter(1000)
+	var slept time.Duration
+	l.sleep = func(d time.Duration) { slept += d }
+	// Pretend a long idle period: tokens must cap at burst, not grow
+	// unboundedly.
+	l.mu.Lock()
+	l.last = time.Now().Add(-time.Hour)
+	l.mu.Unlock()
+	l.Wait(1000) // exactly one burst
+	l.Wait(1000) // must now wait ~1s
+	if slept < 800*time.Millisecond {
+		t.Fatalf("burst not capped: slept only %v", slept)
+	}
+}

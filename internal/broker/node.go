@@ -1,0 +1,336 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/transport"
+)
+
+// Node wraps a Core with a live TCP runtime: a listener, peer connections,
+// a serialized event loop, and the per-broker bandwidth limiter the
+// paper's heterogeneous experiments rely on ("we achieve bandwidth
+// throttling through the use of a bandwidth limiter in each broker").
+//
+// All Core access happens on the event-loop goroutine, so the synchronous
+// state machine needs no locking. Every outbound byte passes through the
+// token-bucket limiter before hitting the socket.
+type Node struct {
+	core     *Core
+	listener *transport.Listener
+	limiter  *Limiter
+	logger   *log.Logger
+
+	inbox chan inboundMsg
+
+	mu    sync.Mutex
+	peers map[string]*peer // endpoint string -> peer
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+}
+
+// inboundMsg is one queued event: either a message to handle or a control
+// closure to run on the loop.
+type inboundMsg struct {
+	from  Endpoint
+	env   *message.Envelope
+	envFn func()
+}
+
+// peer is one live connection.
+type peer struct {
+	ep   Endpoint
+	conn *transport.Conn
+}
+
+// NodeConfig configures a live broker node.
+type NodeConfig struct {
+	// ID is the broker identifier (required).
+	ID string
+	// ListenAddr is the TCP address to bind ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// AdvertisedURL overrides the URL reported in BIA messages (defaults
+	// to the bound listen address).
+	AdvertisedURL string
+	// Delay is the matching-delay model reported to CROC.
+	Delay message.MatchingDelayFn
+	// OutputBandwidth throttles the broker's total output, bytes/s
+	// (0 = unthrottled; the value is still reported to CROC).
+	OutputBandwidth float64
+	// ProfileCapacity is the CBC bit-vector capacity.
+	ProfileCapacity int
+	// Logger receives runtime diagnostics (nil = discard).
+	Logger *log.Logger
+	// InboxDepth bounds the event queue (default 1024).
+	InboxDepth int
+}
+
+// StartNode creates the broker and begins serving.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	l, err := transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	url := cfg.AdvertisedURL
+	if url == "" {
+		url = l.Addr()
+	}
+	epoch := time.Now()
+	core, err := New(Config{
+		ID:              cfg.ID,
+		URL:             url,
+		Delay:           cfg.Delay,
+		OutputBandwidth: cfg.OutputBandwidth,
+		ProfileCapacity: cfg.ProfileCapacity,
+		Clock:           func() float64 { return time.Since(epoch).Seconds() },
+	})
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	depth := cfg.InboxDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	n := &Node{
+		core:     core,
+		listener: l,
+		limiter:  NewLimiter(cfg.OutputBandwidth),
+		logger:   logger,
+		inbox:    make(chan inboundMsg, depth),
+		peers:    make(map[string]*peer),
+		closing:  make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	return n, nil
+}
+
+// ID returns the broker's identifier.
+func (n *Node) ID() string { return n.core.ID() }
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.listener.Addr() }
+
+// ConnectNeighbor dials a neighbor broker and registers the link on both
+// ends.
+func (n *Node) ConnectNeighbor(addr string) error {
+	conn, err := transport.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if err := conn.SendHello(transport.Hello{Kind: transport.PeerBroker, ID: n.ID(), URL: n.Addr()}); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	h, err := conn.RecvHello()
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if h.Kind != transport.PeerBroker {
+		_ = conn.Close()
+		return fmt.Errorf("broker: %s is not a broker", addr)
+	}
+	n.registerPeer(Endpoint{Kind: KindBroker, ID: h.ID}, conn)
+	return nil
+}
+
+// acceptLoop admits inbound brokers and clients.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.closing:
+				return
+			default:
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				n.logger.Printf("broker %s: accept: %v", n.ID(), err)
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			h, err := conn.RecvHello()
+			if err != nil {
+				n.logger.Printf("broker %s: handshake: %v", n.ID(), err)
+				_ = conn.Close()
+				return
+			}
+			if err := conn.SendHello(transport.Hello{Kind: transport.PeerBroker, ID: n.ID(), URL: n.Addr()}); err != nil {
+				_ = conn.Close()
+				return
+			}
+			kind := KindClient
+			if h.Kind == transport.PeerBroker {
+				kind = KindBroker
+			}
+			n.registerPeer(Endpoint{Kind: kind, ID: h.ID}, conn)
+		}()
+	}
+}
+
+// registerPeer records the connection, updates the core's membership, and
+// starts the read pump.
+func (n *Node) registerPeer(ep Endpoint, conn *transport.Conn) {
+	p := &peer{ep: ep, conn: conn}
+	n.mu.Lock()
+	if old, ok := n.peers[ep.String()]; ok {
+		_ = old.conn.Close()
+	}
+	n.peers[ep.String()] = p
+	n.mu.Unlock()
+
+	// Membership changes go through the event loop for serialization.
+	n.enqueueFn(func() {
+		if ep.Kind == KindBroker {
+			n.core.AddNeighbor(ep.ID)
+		} else {
+			n.core.AddClient(ep.ID)
+		}
+	})
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readPump(p)
+	}()
+}
+
+// enqueueFn injects a control closure into the event loop.
+func (n *Node) enqueueFn(fn func()) {
+	select {
+	case n.inbox <- inboundMsg{env: nil, from: Endpoint{}, envFn: fn}:
+	case <-n.closing:
+	}
+}
+
+// readPump forwards frames from one peer into the inbox.
+func (n *Node) readPump(p *peer) {
+	for {
+		env, err := p.conn.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-n.closing:
+				default:
+					n.logger.Printf("broker %s: read from %s: %v", n.ID(), p.ep, err)
+				}
+			}
+			n.dropPeer(p)
+			return
+		}
+		select {
+		case n.inbox <- inboundMsg{from: p.ep, env: env}:
+		case <-n.closing:
+			return
+		}
+	}
+}
+
+// dropPeer removes a disconnected peer.
+func (n *Node) dropPeer(p *peer) {
+	n.mu.Lock()
+	if cur, ok := n.peers[p.ep.String()]; ok && cur == p {
+		delete(n.peers, p.ep.String())
+	}
+	n.mu.Unlock()
+	_ = p.conn.Close()
+	n.enqueueFn(func() {
+		if p.ep.Kind == KindBroker {
+			n.core.RemoveNeighbor(p.ep.ID)
+		} else {
+			n.core.RemoveClient(p.ep.ID)
+		}
+	})
+}
+
+// eventLoop serializes all Core access and ships outgoing messages through
+// the bandwidth limiter.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	var out []Outgoing
+	for {
+		select {
+		case <-n.closing:
+			return
+		case m := <-n.inbox:
+			if m.envFn != nil {
+				m.envFn()
+				continue
+			}
+			out = out[:0]
+			var err error
+			out, err = n.core.Handle(m.from, m.env, out)
+			if err != nil {
+				n.logger.Printf("broker %s: handle %v from %s: %v", n.ID(), m.env.Kind, m.from, err)
+			}
+			for _, o := range out {
+				n.send(o)
+			}
+		}
+	}
+}
+
+// send throttles and transmits one outgoing message; unreachable peers are
+// logged and skipped (the link-failure path is the overlay manager's
+// responsibility, as in PADRES).
+func (n *Node) send(o Outgoing) {
+	n.mu.Lock()
+	p, ok := n.peers[o.To.String()]
+	n.mu.Unlock()
+	if !ok {
+		n.logger.Printf("broker %s: no connection to %s", n.ID(), o.To)
+		return
+	}
+	n.limiter.Wait(o.Env.EncodedSize())
+	if err := p.conn.Send(o.Env); err != nil {
+		n.logger.Printf("broker %s: send to %s: %v", n.ID(), o.To, err)
+		n.dropPeer(p)
+	}
+}
+
+// Counters snapshots the broker's traffic counters (taken on the event
+// loop to avoid racing Handle).
+func (n *Node) Counters() Counters {
+	ch := make(chan Counters, 1)
+	n.enqueueFn(func() { ch <- n.core.Counters() })
+	select {
+	case c := <-ch:
+		return c
+	case <-n.closing:
+		return Counters{}
+	}
+}
+
+// Stop shuts the node down and waits for all goroutines to exit.
+func (n *Node) Stop() {
+	n.once.Do(func() {
+		close(n.closing)
+		_ = n.listener.Close()
+		n.mu.Lock()
+		for _, p := range n.peers {
+			_ = p.conn.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}

@@ -1,0 +1,140 @@
+package broker_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/greenps/greenps/internal/broker"
+	"github.com/greenps/greenps/internal/client"
+	"github.com/greenps/greenps/internal/message"
+)
+
+func startNode(t *testing.T, id string) *broker.Node {
+	t.Helper()
+	n, err := broker.StartNode(broker.NodeConfig{
+		ID:         id,
+		ListenAddr: "127.0.0.1:0",
+		Delay:      message.MatchingDelayFn{Base: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := broker.StartNode(broker.NodeConfig{ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("node without ID accepted")
+	}
+	if _, err := broker.StartNode(broker.NodeConfig{ID: "B", ListenAddr: "256.0.0.1:bad"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestNodeCountersAccessor(t *testing.T) {
+	n := startNode(t, "B1")
+	c, err := client.Connect("c1", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Subscribe(message.NewSubscription("s1", "c1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if n.Counters().MsgsIn >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("counters never observed the subscription")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestNodeSurvivesPeerCrash kills a neighbor and verifies the survivor
+// keeps serving local clients.
+func TestNodeSurvivesPeerCrash(t *testing.T) {
+	b1 := startNode(t, "B1")
+	b2 := startNode(t, "B2")
+	if err := b1.ConnectNeighbor(b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.Connect("sub1", b1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Close() }()
+	if err := sub.Subscribe(message.NewSubscription("s1", "sub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := client.Connect("pub1", b1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	if err := pub.Advertise(message.NewAdvertisement("A", "pub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	b2.Stop() // neighbor crashes
+	time.Sleep(200 * time.Millisecond)
+
+	if err := pub.Publish("A", map[string]message.Value{"x": message.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Publications():
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor stopped serving after peer crash")
+	}
+}
+
+// TestNodeStopIdempotent verifies Stop can be called repeatedly and
+// unblocks all goroutines.
+func TestNodeStopIdempotent(t *testing.T) {
+	n := startNode(t, "B1")
+	n.Stop()
+	n.Stop()
+}
+
+// TestNodeDuplicatePeerReplaced: a client reconnecting under the same ID
+// replaces the old connection rather than wedging the broker.
+func TestNodeDuplicatePeerReplaced(t *testing.T) {
+	n := startNode(t, "B1")
+	c1, err := client.Connect("dup", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Connect("dup", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	_ = c1 // the broker should have displaced c1's connection
+	time.Sleep(100 * time.Millisecond)
+	if err := c2.Subscribe(message.NewSubscription("s1", "dup", nil)); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := client.Connect("pub", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	if err := pub.Advertise(message.NewAdvertisement("A", "pub", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := pub.Publish("A", map[string]message.Value{"x": message.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c2.Publications():
+	case <-time.After(10 * time.Second):
+		t.Fatal("replacement connection starved")
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/greenps/greenps/internal/sim"
+)
+
+// tinyConfig shrinks everything far below Quick() so the full experiment
+// matrix runs in seconds inside the unit test suite.
+func tinyConfig() Config {
+	c := Quick()
+	c.Sizes = []int{10, 20}
+	c.HeteroSizes = []int{20}
+	c.Brokers = 12
+	c.Publishers = 4
+	c.ProfileRounds = 60
+	c.MeasureRounds = 30
+	// Drop the slowest approaches from the sweep; they have dedicated
+	// coverage in core and allocation tests.
+	c.Approaches = []string{sim.ApproachManual, sim.ApproachAutomatic,
+		"BINPACKING", "CRAM-IOS"}
+	return c
+}
+
+func TestHomogeneousSweepShapes(t *testing.T) {
+	sw, err := RunHomogeneous(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range sw.Sizes {
+		manual := sw.Results[sim.ApproachManual][size]
+		cram := sw.Results["CRAM-IOS"][size]
+		bp := sw.Results["BINPACKING"][size]
+		if manual == nil || cram == nil || bp == nil {
+			t.Fatalf("size %d missing results", size)
+		}
+		// The paper's headline shapes.
+		if cram.AllocatedBrokers > bp.AllocatedBrokers {
+			t.Errorf("size %d: CRAM %d brokers > BINPACKING %d", size,
+				cram.AllocatedBrokers, bp.AllocatedBrokers)
+		}
+		if bp.AllocatedBrokers >= manual.AllocatedBrokers {
+			t.Errorf("size %d: BINPACKING %d brokers >= MANUAL %d", size,
+				bp.AllocatedBrokers, manual.AllocatedBrokers)
+		}
+		if cram.AvgRatePerPoolBroker >= manual.AvgRatePerPoolBroker {
+			t.Errorf("size %d: CRAM pool rate %.1f >= MANUAL %.1f", size,
+				cram.AvgRatePerPoolBroker, manual.AvgRatePerPoolBroker)
+		}
+		if cram.AvgHops >= manual.AvgHops {
+			t.Errorf("size %d: CRAM hops %.2f >= MANUAL %.2f", size, cram.AvgHops, manual.AvgHops)
+		}
+	}
+	// Every metric renders.
+	for _, m := range []string{"msgrate", "brokers", "hops", "delay", "compute"} {
+		s, err := sw.Table("EX", m)
+		if err != nil {
+			t.Fatalf("table %s: %v", m, err)
+		}
+		if len(s.Rows) != len(sw.Approaches) {
+			t.Fatalf("table %s rows = %d", m, len(s.Rows))
+		}
+	}
+	if _, err := sw.Table("EX", "nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	sum, err := sw.Summary("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sum.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MANUAL") {
+		t.Fatal("summary missing baseline row")
+	}
+}
+
+func TestHeterogeneousSweepRuns(t *testing.T) {
+	sw, err := RunHeterogeneous(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Hetero {
+		t.Fatal("sweep not marked heterogeneous")
+	}
+	cram := sw.Results["CRAM-IOS"][20]
+	manual := sw.Results[sim.ApproachManual][20]
+	if cram == nil || manual == nil {
+		t.Fatal("missing results")
+	}
+	if cram.AllocatedBrokers >= manual.AllocatedBrokers {
+		t.Errorf("hetero: CRAM %d brokers >= MANUAL %d",
+			cram.AllocatedBrokers, manual.AllocatedBrokers)
+	}
+}
+
+func TestCRAMAblationShapes(t *testing.T) {
+	s, err := CRAMAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 7 {
+		t.Fatalf("ablation rows = %d, want 7", len(s.Rows))
+	}
+	// Row order is fixed: [0]=all opts, [1]=no GIF grouping,
+	// [2]=exhaustive. Groups without grouping must exceed groups with.
+	groupsAll := s.Rows[0][1]
+	groupsNoGIF := s.Rows[1][1]
+	if groupsAll == groupsNoGIF {
+		t.Errorf("GIF grouping had no effect: %s vs %s", groupsAll, groupsNoGIF)
+	}
+}
+
+func TestOverlayAblationRuns(t *testing.T) {
+	s, err := OverlayAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(s.Rows))
+	}
+}
+
+func TestGrapeOnlyShape(t *testing.T) {
+	s, err := GrapeOnly(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(s.Rows))
+	}
+	// GRAPE-ONLY's reduction column must be ~0%, CRAM's strictly positive.
+	grapeRed := s.Rows[1][3]
+	cramRed := s.Rows[2][3]
+	if strings.HasPrefix(cramRed, "-") || cramRed == "0.0%" {
+		t.Errorf("full pipeline reduction = %s", cramRed)
+	}
+	if strings.HasPrefix(grapeRed, "3") || strings.HasPrefix(grapeRed, "4") {
+		t.Errorf("GRAPE-ONLY reduction suspiciously large: %s", grapeRed)
+	}
+}
+
+func TestPosetScalingRuns(t *testing.T) {
+	s, err := PosetScaling(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) < 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+}
+
+func TestLargeScaleQuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale quick run still takes ~20s")
+	}
+	s, err := LargeScale(tinyConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one scale x three approaches)", len(s.Rows))
+	}
+}

@@ -1,0 +1,243 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/greenps/greenps/internal/message"
+)
+
+func pub(symbol string, low, volume float64) *message.Publication {
+	return message.NewPublication("ADV-"+symbol, 1, map[string]message.Value{
+		"class":  message.String("STOCK"),
+		"symbol": message.String(symbol),
+		"low":    message.Number(low),
+		"volume": message.Number(volume),
+	})
+}
+
+func TestAddMatchRemove(t *testing.T) {
+	e := NewEngine()
+	s1 := message.NewSubscription("s1", "c1", []message.Predicate{
+		message.Pred("class", message.OpEq, message.String("STOCK")),
+		message.Pred("symbol", message.OpEq, message.String("YHOO")),
+	})
+	s2 := message.NewSubscription("s2", "c1", []message.Predicate{
+		message.Pred("class", message.OpEq, message.String("STOCK")),
+		message.Pred("symbol", message.OpEq, message.String("YHOO")),
+		message.Pred("low", message.OpLt, message.Number(19)),
+	})
+	s3 := message.NewSubscription("s3", "c2", []message.Predicate{
+		message.Pred("symbol", message.OpEq, message.String("GOOG")),
+	})
+	for _, s := range []*message.Subscription{s1, s2, s3} {
+		if err := e.Add(s); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	if e.Len() != 3 {
+		t.Fatalf("len = %d, want 3", e.Len())
+	}
+	got := e.Match(pub("YHOO", 18, 100))
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[s1 s2]" {
+		t.Fatalf("match = %v, want [s1 s2]", got)
+	}
+	got = e.Match(pub("YHOO", 25, 100))
+	if fmt.Sprint(got) != "[s1]" {
+		t.Fatalf("match = %v, want [s1]", got)
+	}
+	if err := e.Remove("s1"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	got = e.Match(pub("YHOO", 18, 100))
+	if fmt.Sprint(got) != "[s2]" {
+		t.Fatalf("after remove, match = %v, want [s2]", got)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("len after remove = %d, want 2", e.Len())
+	}
+}
+
+func TestDuplicateAddRejected(t *testing.T) {
+	e := NewEngine()
+	s := message.NewSubscription("dup", "c", nil)
+	if err := e.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(s); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestRemoveUnknownRejected(t *testing.T) {
+	e := NewEngine()
+	if err := e.Remove("ghost"); err == nil {
+		t.Fatal("removing unknown subscription must fail")
+	}
+}
+
+func TestZeroPredicateMatchesEverything(t *testing.T) {
+	e := NewEngine()
+	if err := e.Add(message.NewSubscription("all", "c", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Match(pub("YHOO", 1, 1)); len(got) != 1 || got[0] != "all" {
+		t.Fatalf("zero-predicate sub missed: %v", got)
+	}
+}
+
+func TestMultiplePredicatesSameAttribute(t *testing.T) {
+	e := NewEngine()
+	s := message.NewSubscription("range", "c", []message.Predicate{
+		message.Pred("low", message.OpGt, message.Number(10)),
+		message.Pred("low", message.OpLt, message.Number(20)),
+	})
+	if err := e.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Match(pub("X", 15, 1)); len(got) != 1 {
+		t.Fatalf("in-range value missed: %v", got)
+	}
+	if got := e.Match(pub("X", 25, 1)); len(got) != 0 {
+		t.Fatalf("out-of-range value matched: %v", got)
+	}
+}
+
+func TestCompactPreservesLiveSubscriptions(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		s := message.NewSubscription(fmt.Sprintf("s%d", i), "c", []message.Predicate{
+			message.Pred("symbol", message.OpEq, message.String("YHOO")),
+		})
+		if err := e.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := e.Remove(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Compact()
+	if e.Len() != 5 {
+		t.Fatalf("len after compact = %d, want 5", e.Len())
+	}
+	got := e.Match(pub("YHOO", 1, 1))
+	if len(got) != 5 {
+		t.Fatalf("matches after compact = %d, want 5", len(got))
+	}
+}
+
+func TestGetAndSubscriptions(t *testing.T) {
+	e := NewEngine()
+	s := message.NewSubscription("s1", "c", nil)
+	if err := e.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if e.Get("s1") != s {
+		t.Fatal("Get returned wrong subscription")
+	}
+	if e.Get("nope") != nil {
+		t.Fatal("Get of unknown must be nil")
+	}
+	if len(e.Subscriptions()) != 1 {
+		t.Fatal("Subscriptions() wrong length")
+	}
+}
+
+// TestQuickMatchesBruteForce compares the engine against per-subscription
+// Matches() on randomized workloads.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	symbols := []string{"YHOO", "GOOG", "IBM", "MSFT"}
+	attrs := []string{"low", "high", "volume"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var subs []*message.Subscription
+		for i := 0; i < 60; i++ {
+			var preds []message.Predicate
+			preds = append(preds, message.Pred("symbol", message.OpEq,
+				message.String(symbols[rng.Intn(len(symbols))])))
+			np := rng.Intn(3)
+			for j := 0; j < np; j++ {
+				attr := attrs[rng.Intn(len(attrs))]
+				ops := []message.Op{message.OpLt, message.OpLe, message.OpGt,
+					message.OpGe, message.OpEq, message.OpNeq}
+				preds = append(preds, message.Pred(attr, ops[rng.Intn(len(ops))],
+					message.Number(float64(rng.Intn(50)))))
+			}
+			s := message.NewSubscription(fmt.Sprintf("s%d", i), "c", preds)
+			subs = append(subs, s)
+			if err := e.Add(s); err != nil {
+				t.Logf("add: %v", err)
+				return false
+			}
+		}
+		// Random removals.
+		removed := make(map[string]bool)
+		for i := 0; i < 15; i++ {
+			id := fmt.Sprintf("s%d", rng.Intn(60))
+			if !removed[id] {
+				if err := e.Remove(id); err != nil {
+					t.Logf("remove: %v", err)
+					return false
+				}
+				removed[id] = true
+			}
+		}
+		for i := 0; i < 30; i++ {
+			p := message.NewPublication("A", i, map[string]message.Value{
+				"symbol": message.String(symbols[rng.Intn(len(symbols))]),
+				"low":    message.Number(float64(rng.Intn(50))),
+				"high":   message.Number(float64(rng.Intn(50))),
+				"volume": message.Number(float64(rng.Intn(50))),
+			})
+			got := e.Match(p)
+			sort.Strings(got)
+			var want []string
+			for _, s := range subs {
+				if !removed[s.ID] && s.Matches(p) {
+					want = append(want, s.ID)
+				}
+			}
+			sort.Strings(want)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Logf("pub %v: got %v want %v", p, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatch8000Subs(b *testing.B) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8000; i++ {
+		sym := fmt.Sprintf("SYM%02d", i%40)
+		preds := []message.Predicate{
+			message.Pred("class", message.OpEq, message.String("STOCK")),
+			message.Pred("symbol", message.OpEq, message.String(sym)),
+		}
+		if i%5 >= 2 { // 60% carry an inequality
+			preds = append(preds, message.Pred("low", message.OpLt,
+				message.Number(rng.Float64()*100)))
+		}
+		if err := e.Add(message.NewSubscription(fmt.Sprintf("s%d", i), "c", preds)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := pub("SYM07", 50, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MatchFunc(p, func(*message.Subscription) {})
+	}
+}

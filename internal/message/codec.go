@@ -1,0 +1,84 @@
+package message
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// ProfileWire is the on-the-wire form of a bit-vector profile inside a BIA
+// message.
+type ProfileWire struct {
+	Snapshot bitvector.ProfileSnapshot `json:"snap"`
+}
+
+// PackProfiles fills the ProfileData field of every SubscriptionInfo from
+// its in-memory Profile, preparing a BrokerInfo for encoding.
+func (b *BrokerInfo) PackProfiles() {
+	for i := range b.Subscriptions {
+		si := &b.Subscriptions[i]
+		if si.Profile != nil {
+			si.ProfileData = &ProfileWire{Snapshot: si.Profile.Snapshot()}
+		}
+	}
+}
+
+// UnpackProfiles reconstructs the in-memory Profiles of every
+// SubscriptionInfo from their wire form after decoding. Subscriptions with
+// no wire profile get a fresh empty profile so downstream code never sees a
+// nil Profile.
+func (b *BrokerInfo) UnpackProfiles() error {
+	for i := range b.Subscriptions {
+		si := &b.Subscriptions[i]
+		if si.ProfileData == nil {
+			if si.Profile == nil {
+				si.Profile = bitvector.NewProfile(0)
+			}
+			continue
+		}
+		p, err := bitvector.ProfileFromSnapshot(si.ProfileData.Snapshot)
+		if err != nil {
+			return fmt.Errorf("message: unpack profile for %s: %w", si.Sub.ID, err)
+		}
+		si.Profile = p
+	}
+	return nil
+}
+
+// Encode serializes an envelope to JSON, packing any embedded profiles.
+func Encode(e *Envelope) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Kind == KindBIA && e.BIA != nil {
+		for i := range e.BIA.Infos {
+			e.BIA.Infos[i].PackProfiles()
+		}
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("message: encode envelope: %w", err)
+	}
+	return data, nil
+}
+
+// Decode deserializes an envelope from JSON, unpacking any embedded
+// profiles.
+func Decode(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("message: decode envelope: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Kind == KindBIA && e.BIA != nil {
+		for i := range e.BIA.Infos {
+			if err := e.BIA.Infos[i].UnpackProfiles(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &e, nil
+}

@@ -1,0 +1,104 @@
+// Package metrics renders experiment results as aligned text tables — the
+// rows/series the paper's tables and figures report — and provides small
+// formatting helpers shared by the greenbench CLI and the benchmark
+// harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Series is one reproduced table or figure: a header row plus data rows.
+type Series struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title describes what the series reproduces.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, row-major.
+	Rows [][]string
+	// Notes are printed after the table (substitutions, caveats).
+	Notes []string
+}
+
+// AddRow appends a data row.
+func (s *Series) AddRow(cells ...string) { s.Rows = append(s.Rows, cells) }
+
+// Render writes the series as an aligned ASCII table.
+func (s *Series) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", s.ID, s.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(s.Header))
+	for i, h := range s.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range s.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(s.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range s.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// I formats an int.
+func I(x int) string { return fmt.Sprintf("%d", x) }
+
+// Dur formats a duration rounded to milliseconds.
+func Dur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// Reduction formats the percentage reduction from base to value
+// (positive = improvement).
+func Reduction(base, value float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", (base-value)/base*100)
+}

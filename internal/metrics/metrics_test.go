@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	s := &Series{
+		ID:     "E1",
+		Title:  "demo",
+		Header: []string{"approach", "value"},
+		Notes:  []string{"a note"},
+	}
+	s.AddRow("MANUAL", "123.4")
+	s.AddRow("CRAM-IOS", "5.6")
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== E1: demo ==", "approach", "MANUAL", "CRAM-IOS", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: both data rows start their second column at the
+	// same offset.
+	lines := strings.Split(out, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "MANUAL") || strings.HasPrefix(l, "CRAM-IOS") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data lines = %v", dataLines)
+	}
+	if strings.Index(dataLines[0], "123.4") != strings.Index(dataLines[1], "5.6") {
+		t.Errorf("columns misaligned:\n%s\n%s", dataLines[0], dataLines[1])
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F1(1.26) != "1.3" || F2(1.256) != "1.26" || I(7) != "7" {
+		t.Error("number formatting broken")
+	}
+	if Dur(1502*time.Millisecond) != "1.502s" {
+		t.Errorf("Dur = %s", Dur(1502*time.Millisecond))
+	}
+	if Reduction(100, 8) != "92.0%" {
+		t.Errorf("Reduction = %s", Reduction(100, 8))
+	}
+	if Reduction(100, 150) != "-50.0%" {
+		t.Errorf("negative reduction = %s", Reduction(100, 150))
+	}
+	if Reduction(0, 5) != "n/a" {
+		t.Errorf("zero base = %s", Reduction(0, 5))
+	}
+}

@@ -1,0 +1,496 @@
+// Package poset implements the partially-ordered-set data structure of
+// Section IV-C.2: a DAG whose nodes are GIFs (groups of identical filters)
+// ordered by the superset relation over their bit-vector profiles. Parent
+// nodes cover (are supersets of) their children; nodes with intersecting or
+// empty relationships are siblings.
+//
+// CRAM uses the poset for two things: O(1) lookup of the GIFs covered by a
+// candidate (one-to-many clustering, Section IV-C.3) and pruned
+// breadth-first closest-pair search (Section IV-C.2) — for the INTERSECT,
+// IOS, and IOU metrics a zero closeness at a node proves every descendant
+// also has zero closeness, and the search below a child can stop once the
+// closeness value starts to decrease.
+//
+// Profiles that sank no publications cannot be ordered meaningfully (they
+// are subsets of everything); callers keep them out of the poset and
+// allocate them separately.
+package poset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// Node is a poset element. The zero Node is invalid; nodes are created by
+// Insert.
+type Node struct {
+	// ID uniquely names the node (CRAM uses GIF IDs).
+	ID string
+	// Profile is the node's bit-vector profile; nil only for the virtual
+	// root.
+	Profile *bitvector.Profile
+	// Payload carries the caller's value (CRAM stores the *GIF here).
+	Payload any
+
+	parents  map[*Node]struct{}
+	children map[*Node]struct{}
+}
+
+// IsRoot reports whether the node is the virtual universal root.
+func (n *Node) IsRoot() bool { return n.Profile == nil }
+
+// Children returns the node's direct children sorted by ID (deterministic).
+func (n *Node) Children() []*Node { return sortedNodes(n.children) }
+
+// Parents returns the node's direct parents sorted by ID.
+func (n *Node) Parents() []*Node { return sortedNodes(n.parents) }
+
+func sortedNodes(set map[*Node]struct{}) []*Node {
+	out := make([]*Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Poset is the DAG. It is not safe for concurrent use.
+type Poset struct {
+	root  *Node
+	nodes map[string]*Node
+	// relateCount tallies Relate calls, the unit of work the paper's
+	// Optimization 2 reduces; exposed for the E8 ablation experiment.
+	relateCount int
+}
+
+// New returns an empty poset with a virtual universal root.
+func New() *Poset {
+	return &Poset{
+		root: &Node{
+			ID:       "<root>",
+			parents:  make(map[*Node]struct{}),
+			children: make(map[*Node]struct{}),
+		},
+		nodes: make(map[string]*Node),
+	}
+}
+
+// Len returns the number of real (non-root) nodes.
+func (p *Poset) Len() int { return len(p.nodes) }
+
+// Root returns the virtual root.
+func (p *Poset) Root() *Node { return p.root }
+
+// Node returns the node with the given ID, or nil.
+func (p *Poset) Node(id string) *Node { return p.nodes[id] }
+
+// RelateCount returns the number of relationship computations performed.
+func (p *Poset) RelateCount() int { return p.relateCount }
+
+// ResetRelateCount zeroes the relationship-computation counter.
+func (p *Poset) ResetRelateCount() { p.relateCount = 0 }
+
+// relate computes the relationship of a (non-root) profile pair, counting
+// the work.
+func (p *Poset) relate(a, b *bitvector.Profile) bitvector.Relationship {
+	p.relateCount++
+	return bitvector.Relate(a, b)
+}
+
+// Insert adds a node for the given profile. The profile must be non-empty
+// and the ID unused. Insertion finds the minimal covering nodes (parents)
+// and the maximal covered nodes (children) and rewires covering edges.
+func (p *Poset) Insert(id string, prof *bitvector.Profile, payload any) (*Node, error) {
+	if _, ok := p.nodes[id]; ok {
+		return nil, fmt.Errorf("poset: node %q already present", id)
+	}
+	if prof == nil || prof.Empty() {
+		return nil, fmt.Errorf("poset: node %q has an empty profile", id)
+	}
+	n := &Node{
+		ID:       id,
+		Profile:  prof,
+		Payload:  payload,
+		parents:  make(map[*Node]struct{}),
+		children: make(map[*Node]struct{}),
+	}
+
+	parents, equal := p.findParents(prof)
+	if equal != nil {
+		return nil, fmt.Errorf("poset: node %q has a profile equal to existing node %q; group them into one GIF instead", id, equal.ID)
+	}
+	children := p.findChildren(parents, prof)
+
+	for _, par := range parents {
+		for _, ch := range children {
+			if _, ok := par.children[ch]; ok {
+				delete(par.children, ch)
+				delete(ch.parents, par)
+			}
+		}
+	}
+	for _, par := range parents {
+		par.children[n] = struct{}{}
+		n.parents[par] = struct{}{}
+	}
+	for _, ch := range children {
+		n.children[ch] = struct{}{}
+		ch.parents[n] = struct{}{}
+	}
+	p.nodes[id] = n
+	return n, nil
+}
+
+// findParents locates the minimal nodes strictly covering prof: BFS from
+// the root, descending into any node that covers prof; a covering node none
+// of whose children cover prof is a parent. If a node with an equal profile
+// exists it is returned separately so Insert can reject the duplicate.
+func (p *Poset) findParents(prof *bitvector.Profile) (parents []*Node, equal *Node) {
+	seen := map[*Node]struct{}{p.root: {}}
+	queue := []*Node{p.root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		descended := false
+		for _, ch := range cur.Children() {
+			if _, ok := seen[ch]; ok {
+				descended = true // covering child already being explored
+				continue
+			}
+			switch p.relate(ch.Profile, prof) {
+			case bitvector.RelEqual:
+				return nil, ch
+			case bitvector.RelSuperset:
+				seen[ch] = struct{}{}
+				queue = append(queue, ch)
+				descended = true
+			}
+		}
+		if !descended {
+			parents = append(parents, cur)
+		}
+	}
+	if len(parents) == 0 {
+		parents = []*Node{p.root}
+	}
+	return dedupeMinimal(parents), nil
+}
+
+// dedupeMinimal removes duplicates while preserving order.
+func dedupeMinimal(in []*Node) []*Node {
+	seen := make(map[*Node]struct{}, len(in))
+	out := in[:0]
+	for _, n := range in {
+		if _, ok := seen[n]; !ok {
+			seen[n] = struct{}{}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// findChildren locates the maximal nodes strictly covered by prof,
+// searching the descendants of the chosen parents. A node that is covered
+// is taken whole (no need to descend); a node that merely intersects may
+// still hide covered descendants, so the search continues below it; a node
+// with an empty relationship cannot (its descendants are subsets of it).
+func (p *Poset) findChildren(parents []*Node, prof *bitvector.Profile) []*Node {
+	var children []*Node
+	seen := make(map[*Node]struct{})
+	var queue []*Node
+	enqueue := func(n *Node) {
+		if _, ok := seen[n]; !ok {
+			seen[n] = struct{}{}
+			queue = append(queue, n)
+		}
+	}
+	for _, par := range parents {
+		for _, ch := range par.Children() {
+			enqueue(ch)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		r := p.relate(prof, cur.Profile)
+		switch r {
+		case bitvector.RelSuperset:
+			children = append(children, cur)
+		case bitvector.RelIntersect:
+			for _, ch := range cur.Children() {
+				enqueue(ch)
+			}
+		default:
+			// Equal cannot happen (IDs are unique per fingerprint);
+			// Subset/Empty hide no covered descendants.
+		}
+	}
+	// Keep only maximal nodes: drop any candidate that is a descendant of
+	// another candidate.
+	return maximalOnly(children)
+}
+
+// maximalOnly filters a candidate set down to nodes not reachable from any
+// other candidate.
+func maximalOnly(cands []*Node) []*Node {
+	if len(cands) <= 1 {
+		return cands
+	}
+	candSet := make(map[*Node]struct{}, len(cands))
+	for _, c := range cands {
+		candSet[c] = struct{}{}
+	}
+	var out []*Node
+	for _, c := range cands {
+		reachable := false
+		// BFS upward from c looking for another candidate.
+		seen := map[*Node]struct{}{c: {}}
+		queue := []*Node{c}
+		for len(queue) > 0 && !reachable {
+			cur := queue[0]
+			queue = queue[1:]
+			for par := range cur.parents {
+				if _, ok := seen[par]; ok {
+					continue
+				}
+				if _, ok := candSet[par]; ok {
+					reachable = true
+					break
+				}
+				seen[par] = struct{}{}
+				queue = append(queue, par)
+			}
+		}
+		if !reachable {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Remove deletes a node, reconnecting each of its parents to each of its
+// children. The resulting DAG may contain redundant (transitive) edges;
+// searches remain correct because they track visited nodes.
+func (p *Poset) Remove(id string) error {
+	n, ok := p.nodes[id]
+	if !ok {
+		return fmt.Errorf("poset: node %q not present", id)
+	}
+	for par := range n.parents {
+		delete(par.children, n)
+	}
+	for ch := range n.children {
+		delete(ch.parents, n)
+	}
+	for par := range n.parents {
+		for ch := range n.children {
+			if _, dup := par.children[ch]; !dup {
+				par.children[ch] = struct{}{}
+				ch.parents[par] = struct{}{}
+			}
+		}
+	}
+	// Children left parentless attach to the root.
+	for ch := range n.children {
+		if len(ch.parents) == 0 {
+			ch.parents[p.root] = struct{}{}
+			p.root.children[ch] = struct{}{}
+		}
+	}
+	delete(p.nodes, id)
+	return nil
+}
+
+// CoveredBy returns the nodes strictly covered by the given node's profile:
+// its descendants in the DAG. Used by one-to-many clustering, where the
+// lookup of covered GIFs is O(1)-per-node via the child links.
+func (p *Poset) CoveredBy(n *Node) []*Node {
+	var out []*Node
+	seen := make(map[*Node]struct{})
+	queue := make([]*Node, 0, len(n.children))
+	for ch := range n.children {
+		queue = append(queue, ch)
+		seen[ch] = struct{}{}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for ch := range cur.children {
+			if _, ok := seen[ch]; !ok {
+				seen[ch] = struct{}{}
+				queue = append(queue, ch)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SearchResult reports the outcome of a pruned closest-pair search.
+type SearchResult struct {
+	// Best is the closest admissible node (nil when none has positive
+	// closeness).
+	Best *Node
+	// Closeness is Best's metric value.
+	Closeness float64
+	// Computations counts the closeness evaluations performed.
+	Computations int
+}
+
+// SearchClosest finds the admissible node with the highest closeness to the
+// query profile using the paper's pruned BFS (both prunings enabled; see
+// SearchClosestOpts).
+func (p *Poset) SearchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool) SearchResult {
+	return p.SearchClosestOpts(query, metric, skip, true)
+}
+
+// SearchClosestOpts finds the admissible node with the highest closeness to
+// the query profile. skip marks nodes that must not be returned (the
+// query's own node, blacklisted pairs) — they are still traversed.
+//
+// Two prunings apply to the INTERSECT, IOS, and IOU metrics (never to XOR,
+// whose closeness is positive even for empty relations — the paper's
+// explanation for XOR's ≥75% longer computation time):
+//
+//   - Zero pruning (always on for those metrics): a node with closeness 0
+//     has an empty relationship with the query, and every descendant is a
+//     subset of the node, so the whole subtree is skipped. This pruning is
+//     exact.
+//   - Decrease pruning (pruneDecreasing, the paper's Optimization 2): stop
+//     descending below a child whose closeness drops strictly under its
+//     parent's, on the grounds that closeness rises toward the query's own
+//     poset position and falls past it. This is a heuristic: on chains
+//     whose closeness dips and then rises (possible for IOS/IOU) it can
+//     miss the true maximum, trading exactness for the large search-space
+//     reduction the paper reports. The pruned child itself is still
+//     considered as a candidate.
+func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool) SearchResult {
+	var res SearchResult
+	prunable := metric != bitvector.MetricXor
+
+	type item struct {
+		node      *Node
+		closeness float64
+	}
+	seen := make(map[*Node]struct{})
+	var queue []item
+
+	// better applies the candidate with deterministic tie-breaking (lower
+	// ID wins on equal closeness), so results do not depend on map
+	// iteration order — important under XOR, where the capped maximum
+	// value produces frequent exact ties.
+	better := func(ch *Node, c float64) {
+		if skip(ch) {
+			return
+		}
+		if res.Best == nil || c > res.Closeness ||
+			(c == res.Closeness && ch.ID < res.Best.ID) {
+			res.Best, res.Closeness = ch, c
+		}
+	}
+	enqueueChildren := func(n *Node, parentCloseness float64, parentIsRoot bool) {
+		for _, ch := range n.Children() {
+			if _, ok := seen[ch]; ok {
+				continue
+			}
+			seen[ch] = struct{}{}
+			c := bitvector.Closeness(metric, query, ch.Profile)
+			res.Computations++
+			if prunable {
+				if c == 0 {
+					continue // empty relation: all descendants empty too
+				}
+				if pruneDecreasing && !parentIsRoot && c < parentCloseness {
+					// Closeness decreasing: candidate only, no descent.
+					better(ch, c)
+					continue
+				}
+			}
+			better(ch, c)
+			queue = append(queue, item{node: ch, closeness: c})
+		}
+	}
+
+	enqueueChildren(p.root, 0, true)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		enqueueChildren(cur.node, cur.closeness, false)
+	}
+	if res.Best == nil {
+		res.Closeness = 0
+	}
+	// XOR assigns positive closeness to empty relations, so Best can be a
+	// node with which the query shares nothing — the paper observes exactly
+	// this defect; we do not mask it.
+	return res
+}
+
+// Walk visits every node (excluding the root) in BFS order.
+func (p *Poset) Walk(fn func(*Node)) {
+	seen := make(map[*Node]struct{})
+	queue := []*Node{p.root}
+	seen[p.root] = struct{}{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != p.root {
+			fn(cur)
+		}
+		for ch := range cur.children {
+			if _, ok := seen[ch]; !ok {
+				seen[ch] = struct{}{}
+				queue = append(queue, ch)
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies structural soundness: every node is reachable
+// from the root, every edge respects the superset order, and the graph is
+// acyclic. Intended for tests; returns the first violation found.
+func (p *Poset) CheckInvariants() error {
+	reach := make(map[*Node]struct{})
+	p.Walk(func(n *Node) { reach[n] = struct{}{} })
+	if len(reach) != len(p.nodes) {
+		return fmt.Errorf("poset: %d nodes reachable, %d registered", len(reach), len(p.nodes))
+	}
+	for _, n := range p.nodes {
+		for ch := range n.children {
+			r := bitvector.Relate(n.Profile, ch.Profile)
+			if r != bitvector.RelSuperset {
+				return fmt.Errorf("poset: edge %s -> %s has relationship %v, want superset", n.ID, ch.ID, r)
+			}
+			if _, ok := ch.parents[n]; !ok {
+				return fmt.Errorf("poset: edge %s -> %s missing back-link", n.ID, ch.ID)
+			}
+		}
+	}
+	// Acyclicity via DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Node]int)
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		color[n] = gray
+		for ch := range n.children {
+			switch color[ch] {
+			case gray:
+				return fmt.Errorf("poset: cycle through %s", ch.ID)
+			case white:
+				if err := visit(ch); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	return visit(p.root)
+}

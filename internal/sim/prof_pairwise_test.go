@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/core"
+	"github.com/greenps/greenps/internal/workload"
+)
+
+// BenchmarkPairwiseKPlan2000 measures the PAIRWISE-K planning path (the
+// related-work derivative) at 2,000 subscriptions.
+func BenchmarkPairwiseKPlan2000(b *testing.B) {
+	o := workload.Defaults()
+	o.SubsPerPublisher = 50
+	sc, err := workload.Build("prof", o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, infos, err := Prepare(sc, 200, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComputePlan(infos, core.Config{Algorithm: "PAIRWISE-K", Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package transport provides the wire protocol for live (non-simulated)
+// greenps deployments: length-prefixed JSON frames over TCP, with a small
+// hello handshake identifying each peer as a broker or a client.
+//
+// The framing is deliberately simple — a 4-byte big-endian length followed
+// by one encoded message.Envelope — so that any language can implement a
+// client, mirroring how the paper's PADRES deployment exposes brokers over
+// plain sockets.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/greenps/greenps/internal/message"
+)
+
+// MaxFrameSize bounds a single frame; BIA messages carrying thousands of
+// profiles stay well under this.
+const MaxFrameSize = 64 << 20
+
+// PeerKind identifies the remote end of a connection.
+type PeerKind string
+
+// Peer kinds.
+const (
+	PeerBroker PeerKind = "broker"
+	PeerClient PeerKind = "client"
+)
+
+// Hello is the first frame on every connection.
+type Hello struct {
+	Kind PeerKind `json:"kind"`
+	// ID is the broker or client identifier.
+	ID string `json:"id"`
+	// URL is the advertised listen address (brokers only), so the
+	// acceptor can reciprocate links.
+	URL string `json:"url,omitempty"`
+}
+
+// Conn is a framed connection. Send is safe for concurrent use; Recv must
+// be called from a single goroutine.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps an established net.Conn.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReaderSize(nc, 1<<16), w: bufio.NewWriterSize(nc, 1<<16)}
+}
+
+// Dial connects to a listener.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Close closes the underlying connection. Safe to call multiple times.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// writeFrame sends one length-prefixed payload.
+func (c *Conn) writeFrame(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one length-prefixed payload.
+func (c *Conn) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	return payload, nil
+}
+
+// SendHello sends the handshake frame.
+func (c *Conn) SendHello(h Hello) error {
+	data, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("transport: marshal hello: %w", err)
+	}
+	return c.writeFrame(data)
+}
+
+// RecvHello receives the handshake frame.
+func (c *Conn) RecvHello() (Hello, error) {
+	var h Hello
+	data, err := c.readFrame()
+	if err != nil {
+		return h, fmt.Errorf("transport: read hello: %w", err)
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		return h, fmt.Errorf("transport: unmarshal hello: %w", err)
+	}
+	if h.ID == "" || (h.Kind != PeerBroker && h.Kind != PeerClient) {
+		return h, fmt.Errorf("transport: invalid hello %+v", h)
+	}
+	return h, nil
+}
+
+// Send encodes and sends one envelope.
+func (c *Conn) Send(env *message.Envelope) error {
+	data, err := message.Encode(env)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(data)
+}
+
+// Recv receives and decodes one envelope. It returns io.EOF when the peer
+// closed cleanly.
+func (c *Conn) Recv() (*message.Envelope, error) {
+	data, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	return message.Decode(data)
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (host:port; port 0 picks a free
+// one).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
