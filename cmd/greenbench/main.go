@@ -49,6 +49,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "reduced scale (~20x faster, same shapes)")
 		full     = flag.Bool("full", false, "include the 1,000-broker E9 run")
 		seed     = flag.Int64("seed", 1, "random seed")
+		par      = flag.Int("parallelism", 0, "allocation worker count (0 = all cores); results are identical at any value")
 		verbose  = flag.Bool("v", true, "print progress to stderr")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -66,6 +67,7 @@ func run() error {
 		cfg = experiments.Quick()
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

@@ -219,6 +219,18 @@ type PlanSummary struct {
 	ComputeTime time.Duration
 }
 
+// ReconfigureOptions tunes a reconfiguration run beyond the algorithm name.
+type ReconfigureOptions struct {
+	// Algorithm is one of Algorithms() (required).
+	Algorithm string
+	// Timeout bounds the information-gathering phase (0 = 30s).
+	Timeout time.Duration
+	// Parallelism caps the allocation worker count; 0 or negative means
+	// runtime.GOMAXPROCS(0). The computed plan is bit-for-bit identical at
+	// any setting — only wall-clock planning time changes.
+	Parallelism int
+}
+
 // Reconfigure runs the paper's three phases against a live overlay: gather
 // information via BIR/BIA through any broker, allocate subscriptions with
 // the named algorithm, construct the overlay recursively, and place
@@ -226,12 +238,22 @@ type PlanSummary struct {
 // (re-instantiating brokers and reconnecting clients, as the paper does)
 // is the deployer's job.
 func Reconfigure(brokerAddr, algorithm string, timeout time.Duration) (*PlanSummary, error) {
+	return ReconfigureWithOptions(brokerAddr, ReconfigureOptions{
+		Algorithm: algorithm,
+		Timeout:   timeout,
+	})
+}
+
+// ReconfigureWithOptions is Reconfigure with the full option set.
+func ReconfigureWithOptions(brokerAddr string, o ReconfigureOptions) (*PlanSummary, error) {
+	timeout := o.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
 	plan, err := croc.Reconfigure(brokerAddr, core.Config{
-		Algorithm: algorithm,
-		GrapeMode: grape.ModeLoad,
+		Algorithm:   o.Algorithm,
+		GrapeMode:   grape.ModeLoad,
+		Parallelism: o.Parallelism,
 	}, timeout)
 	if err != nil {
 		return nil, err

@@ -1,7 +1,10 @@
 package allocation
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/greenps/greenps/internal/bitvector"
 	"github.com/greenps/greenps/internal/message"
@@ -80,6 +83,116 @@ func BenchmarkPairwise2000(b *testing.B) {
 	}
 }
 
+// benchInput8k builds the paper's largest homogeneous point: an
+// 8,000-subscription pool (40 publishers x 200 subscriptions) against 160
+// brokers — the E7/E8 workload the parallel speedup targets.
+func benchInput8k(b *testing.B) *Input {
+	b.Helper()
+	units, pubs := testWorkload(1, 40, 200, 10, 100)
+	delay := message.MatchingDelayFn{PerSub: 0.00005, Base: 0.001}
+	in := &Input{
+		Units:           units,
+		Brokers:         testBrokers(160, 80_000, delay),
+		Publishers:      pubs,
+		ProfileCapacity: testCap,
+	}
+	if err := in.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// runCRAMParallelSpeedup measures one CRAM configuration at Parallelism 1,
+// 2, and 4 over the 8k workload, asserts the results are bit-for-bit
+// identical across levels, reports the speedup_4x metric, and — on machines
+// with at least 4 cores, like the CI runners — fails if the 4-worker run is
+// not at least 2x faster than the serial one.
+func runCRAMParallelSpeedup(b *testing.B, mk func(par int) *CRAM) {
+	in := benchInput8k(b)
+	var wallclock [3]time.Duration
+	var fp [3]string
+	var stats [3]CRAMStats
+	pars := []int{1, 2, 4}
+	for bi := 0; bi < b.N; bi++ {
+		for i, par := range pars {
+			cram := mk(par)
+			started := time.Now()
+			a, err := cram.Allocate(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wallclock[i] += time.Since(started)
+			fp[i] = a.Fingerprint()
+			stats[i] = cram.Stats()
+		}
+	}
+	for i := 1; i < len(pars); i++ {
+		if fp[i] != fp[0] {
+			b.Fatalf("Parallelism=%d assignment differs from serial", pars[i])
+		}
+		if stats[i] != stats[0] {
+			b.Fatalf("Parallelism=%d stats differ from serial:\n got %+v\nwant %+v",
+				pars[i], stats[i], stats[0])
+		}
+	}
+	speedup := float64(wallclock[0]) / float64(wallclock[2])
+	b.ReportMetric(speedup, "speedup_4x")
+	b.ReportMetric(float64(wallclock[0].Milliseconds())/float64(b.N), "serial_ms")
+	b.ReportMetric(float64(wallclock[2].Milliseconds())/float64(b.N), "par4_ms")
+	if runtime.NumCPU() >= 4 && speedup < 2.0 {
+		b.Fatalf("Parallelism=4 speedup %.2fx < 2x on a %d-core machine (serial %v, par4 %v)",
+			speedup, runtime.NumCPU(), wallclock[0], wallclock[2])
+	}
+}
+
+// BenchmarkE7ComputationTime is the E7 reconfiguration-computation-time
+// point at 8,000 subscriptions: CRAM-IOS with every optimization on.
+func BenchmarkE7ComputationTime(b *testing.B) {
+	runCRAMParallelSpeedup(b, func(par int) *CRAM {
+		return &CRAM{Metric: bitvector.MetricIOS, Parallelism: par}
+	})
+}
+
+// BenchmarkE8CRAMAblation is the E8 ablation grid on the 8k workload: each
+// optimization switched off in turn, each variant swept across parallelism
+// levels with the same identical-results assertion.
+func BenchmarkE8CRAMAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		mk   func(par int) *CRAM
+	}{
+		{"all-on", func(par int) *CRAM {
+			return &CRAM{Metric: bitvector.MetricIOS, Parallelism: par}
+		}},
+		{"no-one-to-many", func(par int) *CRAM {
+			return &CRAM{Metric: bitvector.MetricIOS, DisableOneToMany: true, Parallelism: par}
+		}},
+		{"exhaustive-search", func(par int) *CRAM {
+			return &CRAM{Metric: bitvector.MetricIOS, ExhaustiveSearch: true, Parallelism: par}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) { runCRAMParallelSpeedup(b, v.mk) })
+	}
+}
+
+// BenchmarkCRAMParallelism sweeps worker counts on the 2k workload for
+// profiling the parallel paths in isolation.
+func BenchmarkCRAMParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			in := benchInput(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cram := &CRAM{Metric: bitvector.MetricIOS, Parallelism: par}
+				if _, err := cram.Allocate(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFeasibilityTest isolates CRAM's inner loop: one BIN PACKING
 // feasibility pass over the full pool.
 func BenchmarkFeasibilityTest(b *testing.B) {
@@ -95,4 +208,3 @@ func BenchmarkFeasibilityTest(b *testing.B) {
 		}
 	}
 }
-

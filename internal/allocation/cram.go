@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/parwork"
 	"github.com/greenps/greenps/internal/poset"
 )
 
@@ -44,6 +46,14 @@ type CRAM struct {
 	// MaxIterations caps the clustering loop as a safety net; 0 means
 	// 64×(initial group count), far beyond any convergent run.
 	MaxIterations int
+	// Parallelism caps the worker count of the parallel inner loops (the
+	// seed-phase partner-search fan-out, the poset BFS, the exhaustive
+	// scan, the per-unit broker scans inside each feasibility probe, and
+	// the speculative binary-search probes). 0 or negative means
+	// runtime.GOMAXPROCS(0). Every parallel loop reduces in a canonical
+	// order, so the Assignment and every CRAMStats counter are bit-for-bit
+	// identical at any setting — Parallelism is purely a wall-clock knob.
+	Parallelism int
 
 	stats CRAMStats
 }
@@ -61,9 +71,20 @@ type CRAMStats struct {
 	// FinalUnits is the unit count of the returned allocation.
 	FinalUnits int
 	// ClosenessComputations counts closeness evaluations across all
-	// partner searches.
+	// partner searches. This is the counter behind the paper's E8
+	// closeness-computation column; set-cover bookkeeping is tallied
+	// separately in CoverComputations.
 	ClosenessComputations int
-	// PackAttempts counts allocation feasibility tests.
+	// CoverComputations counts the DiffCount evaluations of the greedy
+	// set cover in one-to-many clustering (Optimization 3). Previously
+	// folded into ClosenessComputations, which inflated the E8 closeness
+	// counts with non-closeness work.
+	CoverComputations int
+	// PackAttempts counts allocation feasibility tests on the canonical
+	// search path. Speculative probe evaluations (Parallelism > 1) that
+	// the binary search also reaches are counted exactly once, when
+	// reached; mispredicted ones are never counted — so the tally is
+	// identical at every parallelism level.
 	PackAttempts int
 	// ClustersAccepted and ClustersRejected count clustering attempts.
 	ClustersAccepted int
@@ -154,11 +175,25 @@ type cramRun struct {
 	heap      candHeap
 	nextGIF   int
 	nextUnit  int
-	// sorted caches the pool in BIN PACKING order; refreshSorted rebuilds
-	// it after each committed change so feasibility tests are O(n) merges
-	// instead of O(n log n) sorts.
+	// par is the normalized Parallelism (always >= 1).
+	par int
+	// eng is the incremental feasibility engine; rebuilt lazily against
+	// the current pool via engine().
+	eng *feasEngine
+	// probeGen distinguishes probe-unit cache keys across committed pool
+	// states: within one generation a (clustering site, k) pair denotes
+	// one fixed unit content, so content-keyed load memoization is safe.
+	probeGen int
+	// sorted caches the pool in BIN PACKING order; poolUnits rebuilds it
+	// after each committed change so feasibility tests are O(n) merges
+	// instead of O(n log n) sorts. poolVersion counts rebuilds so the
+	// feasibility engine knows when its checkpoints need revalidating.
 	sorted      []*Unit
 	sortedDirty bool
+	poolVersion int
+	// gifIDs caches the sorted live GIF IDs for exhaustive scans.
+	gifIDs      []string
+	gifIDsDirty bool
 }
 
 func pairKey(a, b string) string {
@@ -178,54 +213,154 @@ func (r *cramRun) blacklisted(a, b string) bool {
 func (r *cramRun) poolUnits() []*Unit {
 	if r.sorted == nil || r.sortedDirty {
 		var units []*Unit
-		ids := make([]string, 0, len(r.gifs))
-		for id := range r.gifs {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
+		for _, id := range r.sortedGIFIDs() {
 			units = append(units, r.gifs[id].units...)
 		}
 		units = append(units, r.zeroUnits...)
 		r.sorted = sortUnitsByBandwidthDesc(units)
 		r.sortedDirty = false
+		r.poolVersion++
 	}
 	return r.sorted
 }
 
-// markDirty invalidates the sorted pool cache after a committed change.
-func (r *cramRun) markDirty() { r.sortedDirty = true }
+// sortedGIFIDs returns the live GIF IDs in sorted order, cached between
+// GIF-set changes (exhaustive partner scans hit this on every search).
+func (r *cramRun) sortedGIFIDs() []string {
+	if r.gifIDs == nil || r.gifIDsDirty {
+		ids := make([]string, 0, len(r.gifs))
+		for id := range r.gifs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		r.gifIDs = ids
+		r.gifIDsDirty = false
+	}
+	return r.gifIDs
+}
+
+// markDirty invalidates the sorted pool cache after a committed change and
+// opens a new probe generation.
+func (r *cramRun) markDirty() {
+	r.sortedDirty = true
+	r.probeGen++
+}
+
+// engine returns the feasibility engine synced to the current pool.
+func (r *cramRun) engine() *feasEngine {
+	base := r.poolUnits()
+	if r.eng == nil {
+		r.eng = newFeasEngine(r.brokers, r.pubs, r.capacity, r.inCache)
+	}
+	r.eng.reset(base, r.poolVersion)
+	return r.eng
+}
 
 // feasible runs the allocation test on the current pool with the given
 // hypothetical modification: removed units are skipped and added units are
-// merged into the sorted order.
+// merged into the sorted order. The incremental engine gives the same
+// answer a from-scratch repack would, with the per-unit broker scans
+// spread across the workers.
 func (r *cramRun) feasible(removed map[*Unit]bool, added []*Unit) bool {
 	r.c.stats.PackAttempts++
-	base := r.poolUnits()
-	units := make([]*Unit, 0, len(base)+len(added))
-	// Insert added units (few, typically one) at their sorted positions
-	// while copying the already-sorted base.
-	add := make([]*Unit, len(added))
-	copy(add, added)
-	sort.Slice(add, func(i, j int) bool {
-		if add[i].Load.Bandwidth != add[j].Load.Bandwidth {
-			return add[i].Load.Bandwidth > add[j].Load.Bandwidth
-		}
-		return add[i].ID < add[j].ID
-	})
-	ai := 0
-	for _, u := range base {
-		for ai < len(add) && add[ai].Load.Bandwidth > u.Load.Bandwidth {
-			units = append(units, add[ai])
-			ai++
-		}
-		if removed != nil && removed[u] {
-			continue
-		}
-		units = append(units, u)
+	return r.engine().probe(removed, added, r.par)
+}
+
+// searchMaxFeasible runs the binary search shared by clusterSelf and
+// clusterCovering: the largest k in [lo, hi] whose hypothetical
+// modification mk(k) keeps the pool allocatable, or 0 when none does.
+// The search path — and therefore PackAttempts — is exactly the serial
+// one. Parallelism accelerates it on two axes:
+//
+//   - Below 6 workers, each canonical probe runs alone with the full
+//     worker count splitting its per-unit broker scans (probeTeam).
+//   - From 6 workers up, the engine additionally evaluates the probes the
+//     *next* binary-search steps could need (both branch outcomes)
+//     concurrently with the current one, the workers divided between the
+//     targets. Memoized speculative results are consumed when the
+//     canonical path reaches them and discarded otherwise.
+//
+// Either way parallelism changes wall-clock time only, never the probe
+// sequence, the stats, or the result. mk must be pure: it is called from
+// worker goroutines and must not touch run state.
+func (r *cramRun) searchMaxFeasible(lo, hi int, mk func(k int) (map[*Unit]bool, *Unit)) int {
+	eng := r.engine() // sync once; probes may then run concurrently
+	eval := func(k, workers int) bool {
+		rem, add := mk(k)
+		return eng.probe(rem, []*Unit{add}, workers)
 	}
-	units = append(units, add[ai:]...)
-	return feasibleFirstFit(units, r.brokers, r.pubs, r.capacity, r.inCache)
+	memo := make(map[int]bool)
+	best := 0
+	for lo <= hi {
+		k := (lo + hi) / 2
+		res, known := memo[k]
+		if !known {
+			if r.par >= 6 {
+				// Speculate the binary-search subtree below k: its two
+				// possible successors (and their successors when enough
+				// workers are available). Intervals at one level are
+				// disjoint and never contain an ancestor's midpoint, so
+				// the targets are distinct.
+				type iv struct{ lo, hi int }
+				depth := 1
+				if r.par >= 12 {
+					depth = 2
+				}
+				targets := make([]int, 0, 7)
+				level := []iv{{lo, hi}}
+				for d := 0; d <= depth; d++ {
+					next := make([]iv, 0, 2*len(level))
+					for _, v := range level {
+						if v.lo > v.hi {
+							continue
+						}
+						m := (v.lo + v.hi) / 2
+						if _, ok := memo[m]; !ok {
+							targets = append(targets, m)
+						}
+						next = append(next, iv{m + 1, v.hi}, iv{v.lo, m - 1})
+					}
+					level = next
+				}
+				per := r.par / len(targets)
+				if per < 1 {
+					per = 1
+				}
+				results := make([]bool, len(targets))
+				var wg sync.WaitGroup
+				for i, t := range targets {
+					wg.Add(1)
+					go func(i, t int) {
+						defer wg.Done()
+						results[i] = eval(t, per)
+					}(i, t)
+				}
+				wg.Wait()
+				for i, t := range targets {
+					memo[t] = results[i]
+				}
+			} else {
+				memo[k] = eval(k, r.par)
+			}
+			res = memo[k]
+		}
+		r.c.stats.PackAttempts++
+		if res {
+			best = k
+			lo = k + 1
+		} else {
+			hi = k - 1
+		}
+	}
+	return best
+}
+
+// probeID names a hypothetical merged unit for load memoization. Within
+// one probe generation (no committed change in between) the same site/k
+// pair always denotes the same unit content, so the key is a sound cache
+// key; committed units get a fresh cram-u ID at commit time instead.
+func (r *cramRun) probeID(site string, k int) string {
+	return fmt.Sprintf("probe|%d|%s|%d", r.probeGen, site, k)
 }
 
 // newUnitID mints a unit ID for a merged cluster.
@@ -236,11 +371,19 @@ func (r *cramRun) newUnitID() string {
 
 // Allocate implements Algorithm.
 func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
+	_, a, err := c.run(in)
+	return a, err
+}
+
+// run executes the algorithm, additionally returning the final run state so
+// in-package tests can verify convergence properties (e.g. that every live
+// GIF pair with positive closeness was offered and resolved).
+func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	if err := in.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if c.Metric == 0 {
-		return nil, fmt.Errorf("CRAM: no closeness metric configured")
+		return nil, nil, fmt.Errorf("CRAM: no closeness metric configured")
 	}
 	c.stats = CRAMStats{InitialUnits: len(in.Units)}
 
@@ -254,6 +397,7 @@ func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
 		byKey:     make(map[string]*gif),
 		ps:        poset.New(),
 		blacklist: make(map[string]struct{}),
+		par:       parwork.Workers(c.Parallelism),
 	}
 
 	// Group units into GIFs by profile fingerprint (Optimization 1).
@@ -282,39 +426,49 @@ func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
 	}
 	c.stats.InitialGIFs = len(r.gifs)
 
+	// Warm the per-unit input-load cache up front, fanned out across the
+	// workers; every later feasibility probe then runs on cache hits.
+	warmInLoadCache(in.Units, r.pubs, r.inCache, r.par)
+
 	// Initial allocation test without clustering (the algorithm terminates
 	// immediately if the raw pool does not fit).
 	if !r.feasible(nil, nil) {
-		return nil, fmt.Errorf("CRAM: initial BIN PACKING of %d units failed: insufficient broker resources", len(in.Units))
+		return nil, nil, fmt.Errorf("CRAM: initial BIN PACKING of %d units failed: insufficient broker resources", len(in.Units))
 	}
 
 	// Build the poset (unless running exhaustively).
 	useExhaustive := c.ExhaustiveSearch || c.DisableGIFGrouping
 	if !useExhaustive {
-		ids := make([]string, 0, len(r.gifs))
-		for id := range r.gifs {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
+		for _, id := range r.sortedGIFIDs() {
 			g := r.gifs[id]
 			node, err := r.ps.Insert(g.id, g.profile, g)
 			if err != nil {
-				return nil, fmt.Errorf("CRAM: poset insert: %w", err)
+				return nil, nil, fmt.Errorf("CRAM: poset insert: %w", err)
 			}
 			g.node = node
 		}
 	}
 
-	// Seed the candidate heap with every GIF's best partner.
+	// Seed the candidate heap with every GIF's best partner, the searches
+	// fanned out across the workers. No run state mutates during the
+	// fan-out, and the heap comparator is a strict total order over
+	// (closeness, gifID, partnerID), so pushing the collected candidates
+	// in GIF-ID order yields the same pop sequence as the serial seed at
+	// any worker count.
 	heap.Init(&r.heap)
-	ids := make([]string, 0, len(r.gifs))
-	for id := range r.gifs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		r.pushBest(r.gifs[id], useExhaustive)
+	seedIDs := r.sortedGIFIDs()
+	seedCands := make([]*candidate, len(seedIDs))
+	seedComps := make([]int, len(seedIDs))
+	parwork.Run(len(seedIDs), r.par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seedCands[i], seedComps[i] = r.bestPartner(r.gifs[seedIDs[i]], useExhaustive, 1)
+		}
+	})
+	for i, cd := range seedCands {
+		c.stats.ClosenessComputations += seedComps[i]
+		if cd != nil {
+			heap.Push(&r.heap, *cd)
+		}
 	}
 
 	maxIter := c.MaxIterations
@@ -327,7 +481,15 @@ func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
 		g, okG := r.gifs[cand.gifID]
 		p, okP := r.gifs[cand.partnerID]
 		if !okG {
-			continue // GIF consumed by an earlier clustering
+			// The owning GIF was consumed by an earlier clustering, but
+			// the partner may be live with no heap entry of its own (its
+			// last pushBest can have found nothing while this stale entry
+			// still represented the pair). Re-offer it so no live GIF
+			// with a positive-closeness partner is starved.
+			if okP && cand.partnerID != cand.gifID {
+				r.pushBest(p, useExhaustive)
+			}
+			continue
 		}
 		if !okP || r.blacklisted(cand.gifID, cand.partnerID) ||
 			(cand.gifID == cand.partnerID && len(g.units) < 2) {
@@ -355,54 +517,78 @@ func (c *CRAM) Allocate(in *Input) (*Assignment, error) {
 	a, err := packFirstFit(units, r.brokers, r.pubs, r.capacity, r.inCache)
 	if err != nil {
 		// Cannot happen: every committed pool passed the feasibility test.
-		return nil, fmt.Errorf("CRAM: final pack of feasible pool failed: %w", err)
+		return nil, nil, fmt.Errorf("CRAM: final pack of feasible pool failed: %w", err)
 	}
 	c.stats.FinalUnits = len(units)
-	return a, nil
+	return r, a, nil
 }
 
 // pushBest computes the GIF's best admissible partner and pushes it onto
 // the heap. GIFs with no positive-closeness partner push nothing.
 func (r *cramRun) pushBest(g *gif, exhaustive bool) {
+	best, comps := r.bestPartner(g, exhaustive, r.par)
+	r.c.stats.ClosenessComputations += comps
+	if best != nil {
+		heap.Push(&r.heap, *best)
+	}
+}
+
+// bestPartner computes the GIF's best admissible partner and the number of
+// closeness evaluations spent finding it, without touching run state — so
+// the seed phase can fan searches for distinct GIFs across workers. par
+// additionally parallelizes the search for this one GIF (the exhaustive
+// scan or the poset BFS); every reduction runs in the canonical GIF-ID
+// order, so the returned candidate and evaluation count are identical at
+// any par.
+func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (*candidate, int) {
+	comps := 0
 	// Self-pair: the equal relationship pairs a GIF with itself whenever it
 	// holds more than one unit (Optimization 1's equal case).
 	var best *candidate
 	if len(g.units) >= 2 && !r.blacklisted(g.id, g.id) {
 		c := bitvector.Closeness(r.c.Metric, g.profile, g.profile)
-		r.c.stats.ClosenessComputations++
+		comps++
 		if c > 0 {
 			best = &candidate{gifID: g.id, partnerID: g.id, closeness: c}
 		}
 	}
 	if exhaustive {
-		ids := make([]string, 0, len(r.gifs))
-		for id := range r.gifs {
-			ids = append(ids, id)
+		ids := r.sortedGIFIDs()
+		// Evaluate every admissible pairing across the workers, then
+		// reduce serially in ID order: first strict maximum wins, exactly
+		// the serial scan's tie-break.
+		cs := make([]float64, len(ids))
+		skip := make([]bool, len(ids))
+		for i, id := range ids {
+			skip[i] = id == g.id || r.blacklisted(g.id, id)
 		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			if id == g.id || r.blacklisted(g.id, id) {
+		parwork.Run(len(ids), par, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if skip[i] {
+					continue
+				}
+				cs[i] = bitvector.Closeness(r.c.Metric, g.profile, r.gifs[ids[i]].profile)
+			}
+		})
+		for i, id := range ids {
+			if skip[i] {
 				continue
 			}
-			o := r.gifs[id]
-			c := bitvector.Closeness(r.c.Metric, g.profile, o.profile)
-			r.c.stats.ClosenessComputations++
-			if c > 0 && (best == nil || c > best.closeness) {
+			comps++
+			if c := cs[i]; c > 0 && (best == nil || c > best.closeness) {
 				best = &candidate{gifID: g.id, partnerID: id, closeness: c}
 			}
 		}
 	} else {
-		res := r.ps.SearchClosest(g.profile, r.c.Metric, func(n *poset.Node) bool {
+		res := r.ps.SearchClosestParallel(g.profile, r.c.Metric, func(n *poset.Node) bool {
 			return n.ID == g.id || r.blacklisted(g.id, n.ID)
-		})
-		r.c.stats.ClosenessComputations += res.Computations
+		}, par)
+		comps += res.Computations
 		if res.Best != nil && res.Closeness > 0 && (best == nil || res.Closeness > best.closeness) {
 			best = &candidate{gifID: g.id, partnerID: res.Best.ID, closeness: res.Closeness}
 		}
 	}
-	if best != nil {
-		heap.Push(&r.heap, *best)
-	}
+	return best, comps
 }
 
 // clusterPair attempts the clustering dictated by the relationship between
@@ -438,27 +624,23 @@ func (r *cramRun) clusterPair(a, b *gif, exhaustive bool) bool {
 }
 
 // clusterSelf merges units within one GIF: binary search for the largest
-// cluster of its lightest units that still allocates.
+// cluster of its lightest units that still allocates. Probes use
+// content-keyed unit IDs; the committed merged unit mints its cram-u ID
+// only after the search settles, so minted IDs never depend on how many
+// infeasible probes ran.
 func (r *cramRun) clusterSelf(g *gif, exhaustive bool) bool {
 	n := len(g.units)
 	if n < 2 {
 		return false
 	}
-	lo, hi, bestK := 2, n, 0
-	for lo <= hi {
-		k := (lo + hi) / 2
-		merged := MergeUnits(r.newUnitID(), r.capacity, g.units[:k]...)
+	bestK := r.searchMaxFeasible(2, n, func(k int) (map[*Unit]bool, *Unit) {
+		merged := MergeUnits(r.probeID("self:"+g.id, k), r.capacity, g.units[:k]...)
 		removed := make(map[*Unit]bool, k)
 		for _, u := range g.units[:k] {
 			removed[u] = true
 		}
-		if r.feasible(removed, []*Unit{merged}) {
-			bestK = k
-			lo = k + 1
-		} else {
-			hi = k - 1
-		}
-	}
+		return removed, merged
+	})
 	if bestK < 2 {
 		return false
 	}
@@ -476,10 +658,11 @@ func (r *cramRun) clusterSelf(g *gif, exhaustive bool) bool {
 // and the generic pairwise case).
 func (r *cramRun) clusterLightest(a, b *gif, exhaustive bool) bool {
 	ua, ub := a.units[0], b.units[0]
-	merged := MergeUnits(r.newUnitID(), r.capacity, ua, ub)
+	merged := MergeUnits(r.probeID("pair:"+a.id+"|"+b.id, 2), r.capacity, ua, ub)
 	if !r.feasible(map[*Unit]bool{ua: true, ub: true}, []*Unit{merged}) {
 		return false
 	}
+	merged.ID = r.newUnitID() // mint only at commit
 	r.detachUnit(a, ua, exhaustive)
 	r.detachUnit(b, ub, exhaustive)
 	r.attachUnit(merged, exhaustive)
@@ -494,22 +677,15 @@ func (r *cramRun) clusterLightest(a, b *gif, exhaustive bool) bool {
 func (r *cramRun) clusterCovering(covering, covered *gif, exhaustive bool) bool {
 	uc := covering.units[0]
 	n := len(covered.units)
-	lo, hi, bestM := 1, n, 0
-	for lo <= hi {
-		m := (lo + hi) / 2
+	bestM := r.searchMaxFeasible(1, n, func(m int) (map[*Unit]bool, *Unit) {
 		parts := append([]*Unit{uc}, covered.units[:m]...)
-		merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
+		merged := MergeUnits(r.probeID("cover:"+covering.id+"|"+covered.id, m), r.capacity, parts...)
 		removed := make(map[*Unit]bool, m+1)
 		for _, u := range parts {
 			removed[u] = true
 		}
-		if r.feasible(removed, []*Unit{merged}) {
-			bestM = m
-			lo = m + 1
-		} else {
-			hi = m - 1
-		}
-	}
+		return removed, merged
+	})
 	if bestM == 0 {
 		return false
 	}
@@ -572,7 +748,7 @@ func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
 		bestIdx, bestNew := -1, 0
 		for i, e := range pool {
 			nb := bitvector.DiffCount(e.g.profile, cgsProfile)
-			r.c.stats.ClosenessComputations++
+			r.c.stats.CoverComputations++
 			if nb > bestNew {
 				bestNew = nb
 				bestIdx = i
@@ -608,7 +784,7 @@ func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
 	for _, g := range cgs {
 		parts = append(parts, g.units[0])
 	}
-	merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
+	merged := MergeUnits(r.probeID("cgs:"+parent.id+"|"+other.id, len(parts)), r.capacity, parts...)
 	removed := make(map[*Unit]bool, len(parts))
 	for _, u := range parts {
 		removed[u] = true
@@ -616,6 +792,7 @@ func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
 	if !r.feasible(removed, []*Unit{merged}) {
 		return false
 	}
+	merged.ID = r.newUnitID() // mint only at commit
 	// Commit: merged profile equals the parent's (CGS members are covered),
 	// so the merged unit joins the parent GIF.
 	parent.removeUnit(puc)
@@ -660,6 +837,7 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 		g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: u.Profile.Clone()}
 		r.byKey[key] = g
 		r.gifs[g.id] = g
+		r.gifIDsDirty = true
 		if !exhaustive {
 			// Equal profiles always share a fingerprint, so the byKey miss
 			// guarantees this profile is new to the poset.
@@ -679,6 +857,7 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 // dropGIF removes an emptied GIF from all indices.
 func (r *cramRun) dropGIF(g *gif) {
 	delete(r.gifs, g.id)
+	r.gifIDsDirty = true
 	if !r.c.DisableGIFGrouping {
 		delete(r.byKey, g.profile.FingerprintKey())
 	} else {

@@ -1,0 +1,363 @@
+package allocation
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// feasEngine answers CRAM's allocation-feasibility probes ("does the pool
+// still BIN-PACK with these units removed and that merged unit added?")
+// incrementally. Three observations make the probes cheap:
+//
+//  1. First-fit packing is prefix-deterministic: the broker states after
+//     placing the first i units depend only on those i units. A probe's
+//     unit stream is identical to the committed base pool up to the
+//     earliest modified position p (the first removed unit or the added
+//     unit's sorted insertion point), so packing can resume from a
+//     checkpoint of the base prefix instead of replaying from unit 0.
+//     CRAM removes the *lightest* units of a group, which sit near the
+//     tail of the bandwidth-descending order, so p is typically large and
+//     most of the pack is skipped.
+//  2. Checkpoints of the base prefix can be recorded opportunistically
+//     during any probe while it is still inside its unmodified region —
+//     no dedicated replay pass is needed, and after a commit the
+//     checkpoints covering the unchanged prefix stay valid.
+//  3. Per-unit input loads are pure functions of (profile, publisher
+//     stats); they are memoized in the shared load cache under a
+//     mutex, so concurrent probes only ever read or idempotently write
+//     identical values.
+//
+// probe is safe for concurrent use (CRAM's speculative binary-search
+// evaluation runs probes in parallel), and each probe can additionally
+// split its own per-unit broker scans across a worker team (probeTeam);
+// reset is not concurrency-safe and must be called from the coordinating
+// goroutine only. Checkpoint scheduling can differ between runs or
+// parallelism levels, but checkpointed resumption is exact, so probe
+// results never depend on it.
+type feasEngine struct {
+	brokers  []*BrokerSpec
+	pubs     map[string]*bitvector.PublisherStats
+	capacity int
+
+	// mu guards inCache and ckpts, the two structures concurrent probes
+	// share mutably.
+	mu      sync.Mutex
+	inCache map[string]bitvector.Load
+	ckpts   []feasCkpt // ascending by pos; states are immutable once stored
+
+	version int
+	base    []*Unit // the committed pool in BIN PACKING order
+	index   map[*Unit]int
+	every   int // checkpoint spacing in units
+}
+
+// feasCkpt is a snapshot of the broker states after first-fit packing the
+// first pos units of the base pool.
+type feasCkpt struct {
+	pos    int
+	states []*brokerState
+}
+
+// maxCkptBrokers bounds checkpoint memory: beyond this broker-pool size
+// (e.g. the 1,000-broker SciNet scenarios) snapshots would dominate the
+// heap, so probes fall back to full repacks — still correct, just not
+// incremental.
+const maxCkptBrokers = 256
+
+func newFeasEngine(brokers []*BrokerSpec, pubs map[string]*bitvector.PublisherStats,
+	capacity int, inCache map[string]bitvector.Load) *feasEngine {
+	return &feasEngine{brokers: brokers, pubs: pubs, capacity: capacity, inCache: inCache}
+}
+
+// reset points the engine at a new committed base pool. Checkpoints whose
+// positions lie within the longest unchanged prefix (compared by unit
+// identity) remain valid and are kept; the rest are dropped.
+func (e *feasEngine) reset(base []*Unit, version int) {
+	if e.base != nil && e.version == version {
+		return
+	}
+	common := 0
+	for common < len(base) && common < len(e.base) && base[common] == e.base[common] {
+		common++
+	}
+	kept := e.ckpts[:0]
+	for _, ck := range e.ckpts {
+		if ck.pos <= common {
+			kept = append(kept, ck)
+		}
+	}
+	e.ckpts = kept
+	e.base = base
+	e.version = version
+	e.index = make(map[*Unit]int, len(base))
+	for i, u := range base {
+		e.index[u] = i
+	}
+	e.every = len(base) / 16
+	if e.every < 64 {
+		e.every = 64
+	}
+}
+
+// loadOf returns the unit's input-side load from the shared cache,
+// computing and memoizing it on first use. Safe for concurrent probes:
+// EstimateLoad is pure, so racing writers store identical values.
+func (e *feasEngine) loadOf(u *Unit) bitvector.Load {
+	e.mu.Lock()
+	l, ok := e.inCache[u.ID]
+	e.mu.Unlock()
+	if ok {
+		return l
+	}
+	l = bitvector.EstimateLoad(u.Profile, e.pubs)
+	e.mu.Lock()
+	e.inCache[u.ID] = l
+	e.mu.Unlock()
+	return l
+}
+
+// recordCkpt stores a snapshot of states as the packing outcome of the
+// base prefix [0, pos). Appends are monotone in pos so the list stays
+// sorted; a concurrent probe that already recorded this far wins.
+func (e *feasEngine) recordCkpt(pos int, states []*brokerState) {
+	cl := make([]*brokerState, len(states))
+	for i, s := range states {
+		cl[i] = s.clone()
+	}
+	e.mu.Lock()
+	if n := len(e.ckpts); n == 0 || e.ckpts[n-1].pos < pos {
+		e.ckpts = append(e.ckpts, feasCkpt{pos: pos, states: cl})
+	}
+	e.mu.Unlock()
+}
+
+// probe reports whether the base pool with the given hypothetical
+// modification still first-fit packs onto the broker pool. The answer is
+// bit-for-bit identical to rebuilding the modified pool and packing it
+// from scratch (feasibleFirstFit); only the amount of replayed work
+// differs. removed units are skipped, added units are merged into the
+// bandwidth-descending order exactly as cramRun.feasible always did.
+//
+// workers parallelizes the per-unit broker scan *inside* this one probe
+// (see probeTeam); 1 or less runs the scan serially. The placement — and
+// therefore the answer — is identical at any worker count.
+func (e *feasEngine) probe(removed map[*Unit]bool, added []*Unit, workers int) bool {
+	// Earliest position at which the probe's stream diverges from base.
+	p := len(e.base)
+	for u := range removed {
+		if i, ok := e.index[u]; ok && i < p {
+			p = i
+		}
+	}
+	add := make([]*Unit, len(added))
+	copy(add, added)
+	sort.Slice(add, func(i, j int) bool {
+		if add[i].Load.Bandwidth != add[j].Load.Bandwidth {
+			return add[i].Load.Bandwidth > add[j].Load.Bandwidth
+		}
+		return add[i].ID < add[j].ID
+	})
+	for _, u := range add {
+		// First index whose bandwidth drops strictly below the added
+		// unit's — the position the merge loop below inserts at.
+		i := sort.Search(len(e.base), func(i int) bool {
+			return e.base[i].Load.Bandwidth < u.Load.Bandwidth
+		})
+		if i < p {
+			p = i
+		}
+	}
+
+	// Resume from the latest checkpoint at or before p.
+	start := 0
+	var snap []*brokerState
+	e.mu.Lock()
+	for _, ck := range e.ckpts {
+		if ck.pos <= p && ck.pos > start {
+			start, snap = ck.pos, ck.states
+		}
+	}
+	lastCkpt := 0
+	if n := len(e.ckpts); n > 0 {
+		lastCkpt = e.ckpts[n-1].pos
+	}
+	e.mu.Unlock()
+
+	states := make([]*brokerState, len(e.brokers))
+	if snap == nil {
+		for i, b := range e.brokers {
+			states[i] = &brokerState{spec: b, agg: bitvector.NewProfile(e.capacity)}
+		}
+	} else {
+		for i, s := range snap {
+			states[i] = s.clone()
+		}
+	}
+
+	place := func(u *Unit) bool {
+		uIn := e.loadOf(u)
+		for _, bs := range states {
+			if ok, inter := bs.fits(u, uIn, e.pubs); ok {
+				bs.accept(u, uIn, inter)
+				return true
+			}
+		}
+		return false
+	}
+	if w := min(workers, len(states)); w > 1 {
+		team := newProbeTeam(states, e.pubs, w)
+		defer team.release()
+		place = func(u *Unit) bool { return team.place(u, e.loadOf(u)) }
+	}
+
+	canCkpt := len(e.brokers) <= maxCkptBrokers
+	ai := 0
+	for i := start; i < len(e.base); i++ {
+		u := e.base[i]
+		// While still replaying the unmodified prefix (i <= p, so no add
+		// has been flushed and no removal skipped), the states describe
+		// the base pool itself — snapshot them for future probes.
+		if canCkpt && i > start && i <= p && i > lastCkpt && i%e.every == 0 {
+			e.recordCkpt(i, states)
+			lastCkpt = i
+		}
+		for ai < len(add) && add[ai].Load.Bandwidth > u.Load.Bandwidth {
+			if !place(add[ai]) {
+				return false
+			}
+			ai++
+		}
+		if removed != nil && removed[u] {
+			continue
+		}
+		if !place(u) {
+			return false
+		}
+	}
+	for ; ai < len(add); ai++ {
+		if !place(add[ai]) {
+			return false
+		}
+	}
+	return true
+}
+
+// probeTeam parallelizes the broker scan of a single first-fit placement.
+// Broker index b is owned by worker b mod W: each worker walks its own
+// residue class in ascending order and reports the first broker there that
+// admits the unit. The global first fit is the minimum over the workers'
+// per-class first fits — exactly the broker the serial scan would pick —
+// so worker count cannot change any placement. Between rounds only the
+// coordinator touches broker state (one accept per placed unit), and the
+// round/done atomics order every hand-off, so a worker never reads a
+// broker while it is being mutated.
+//
+// Profile-guided design note: a placement averages ~70 failed fits of
+// ~70ns each before succeeding (the leading brokers are full), so the
+// scan is worth splitting but a placement is only ~5µs of work — channel
+// hand-offs would eat the gain, hence spin-waits with a Gosched fallback
+// that keeps single-core machines live.
+type probeTeam struct {
+	states []*brokerState
+	pubs   map[string]*bitvector.PublisherStats
+	w      int
+
+	// round is the publication sequence: the coordinator increments it
+	// after writing u/uIn, workers scan once per increment. stop ends the
+	// workers' loop at the next increment. done counts workers finished
+	// with the current round.
+	round atomic.Int64
+	done  atomic.Int64
+	stop  atomic.Bool
+	u     *Unit
+	uIn   bitvector.Load
+	res   []placeResult
+}
+
+// placeResult is one worker's first fit within its residue class, padded
+// so neighbouring workers do not share a cache line while publishing.
+type placeResult struct {
+	broker int // -1 when nothing in the class admits the unit
+	inter  bitvector.Load
+	_      [40]byte
+}
+
+func newProbeTeam(states []*brokerState, pubs map[string]*bitvector.PublisherStats, w int) *probeTeam {
+	t := &probeTeam{states: states, pubs: pubs, w: w, res: make([]placeResult, w)}
+	for i := 1; i < w; i++ {
+		go t.worker(i)
+	}
+	return t
+}
+
+// spinUntil busy-waits for cond, yielding the processor regularly so
+// oversubscribed schedules (more workers than cores) keep making progress.
+func spinUntil(cond func() bool) {
+	for i := 0; ; i++ {
+		if cond() {
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// scan finds worker i's first fit for the published unit.
+func (t *probeTeam) scan(i int) {
+	u, uIn := t.u, t.uIn
+	t.res[i].broker = -1
+	for b := i; b < len(t.states); b += t.w {
+		if ok, inter := t.states[b].fits(u, uIn, t.pubs); ok {
+			t.res[i].broker = b
+			t.res[i].inter = inter
+			return
+		}
+	}
+}
+
+func (t *probeTeam) worker(i int) {
+	for r := int64(1); ; r++ {
+		spinUntil(func() bool { return t.round.Load() >= r })
+		if t.stop.Load() {
+			return
+		}
+		t.scan(i)
+		t.done.Add(1)
+	}
+}
+
+// place runs one placement round: publish the unit, scan class 0 while
+// the workers scan theirs, reduce to the global first fit, accept.
+func (t *probeTeam) place(u *Unit, uIn bitvector.Load) bool {
+	t.u, t.uIn = u, uIn
+	t.done.Store(0)
+	t.round.Add(1)
+	t.scan(0)
+	want := int64(t.w - 1)
+	spinUntil(func() bool { return t.done.Load() == want })
+	best := t.res[0].broker
+	inter := t.res[0].inter
+	for i := 1; i < t.w; i++ {
+		if b := t.res[i].broker; b >= 0 && (best < 0 || b < best) {
+			best = b
+			inter = t.res[i].inter
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	t.states[best].accept(u, uIn, inter)
+	return true
+}
+
+// release ends the worker goroutines; the probe's deferred call runs it on
+// every exit path, including infeasible early returns.
+func (t *probeTeam) release() {
+	t.stop.Store(true)
+	t.round.Add(1)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/parwork"
 )
 
 // brokerState tracks one broker's tentative contents during packing.
@@ -21,10 +22,26 @@ type brokerState struct {
 	outLoad bitvector.Load
 	// filters is the routing-table entry count.
 	filters int
+	// track records accepted units in the units slice. Feasibility-only
+	// packs (CRAM's probe engine) turn it off: the yes/no answer needs the
+	// loads and the aggregate profile, not the membership list.
+	track bool
 }
 
 func newBrokerState(spec *BrokerSpec, capacity int) *brokerState {
-	return &brokerState{spec: spec, agg: bitvector.NewProfile(capacity)}
+	return &brokerState{spec: spec, agg: bitvector.NewProfile(capacity), track: true}
+}
+
+// clone deep-copies the packing-relevant state (not the units list), so a
+// feasibility probe can resume from a checkpoint without mutating it.
+func (bs *brokerState) clone() *brokerState {
+	return &brokerState{
+		spec:    bs.spec,
+		agg:     bs.agg.Clone(),
+		inLoad:  bs.inLoad,
+		outLoad: bs.outLoad,
+		filters: bs.filters,
+	}
 }
 
 // unitInLoad returns the unit's input-side load (traffic matching its
@@ -38,29 +55,50 @@ func unitInLoad(u *Unit, pubs map[string]*bitvector.PublisherStats, cache map[st
 	return l
 }
 
+// warmInLoadCache fills the input-load cache for every unit up front, the
+// load estimations fanned out across workers. The cache itself is written
+// serially (maps are not safe for concurrent writes); the estimates are
+// pure functions of (profile, pubs), so worker count cannot change the
+// cached values.
+func warmInLoadCache(units []*Unit, pubs map[string]*bitvector.PublisherStats,
+	cache map[string]bitvector.Load, workers int) {
+	loads := make([]bitvector.Load, len(units))
+	parwork.Run(len(units), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			loads[i] = bitvector.EstimateLoad(units[i].Profile, pubs)
+		}
+	})
+	for i, u := range units {
+		cache[u.ID] = loads[i]
+	}
+}
+
 // fits applies the paper's two admission criteria (Section IV-A): after
 // accepting the unit, (1) the broker's remaining output bandwidth must stay
 // strictly positive, and (2) its incoming publication rate must not exceed
 // its maximum matching rate (the inverse of the matching delay at the new
-// routing-table size).
-func (bs *brokerState) fits(u *Unit, uIn bitvector.Load, pubs map[string]*bitvector.PublisherStats) bool {
+// routing-table size). On success it returns the intersect load it already
+// computed, so accept need not recompute it.
+func (bs *brokerState) fits(u *Unit, uIn bitvector.Load, pubs map[string]*bitvector.PublisherStats) (bool, bitvector.Load) {
 	if bs.outLoad.Bandwidth+u.Load.Bandwidth >= bs.spec.OutputBandwidth {
-		return false
+		return false, bitvector.Load{}
 	}
 	inter := bitvector.IntersectLoad(bs.agg, u.Profile, pubs)
 	newInRate := bs.inLoad.Rate + uIn.Rate - inter.Rate
-	return newInRate <= bs.spec.Delay.MaxRate(bs.filters+u.Filters)
+	return newInRate <= bs.spec.Delay.MaxRate(bs.filters+u.Filters), inter
 }
 
-// accept commits the unit to the broker.
-func (bs *brokerState) accept(u *Unit, uIn bitvector.Load, pubs map[string]*bitvector.PublisherStats) {
-	inter := bitvector.IntersectLoad(bs.agg, u.Profile, pubs)
+// accept commits the unit to the broker. inter must be the intersect load
+// fits returned for the same unit against the same state.
+func (bs *brokerState) accept(u *Unit, uIn bitvector.Load, inter bitvector.Load) {
 	bs.inLoad.Rate += uIn.Rate - inter.Rate
 	bs.inLoad.Bandwidth += uIn.Bandwidth - inter.Bandwidth
 	bs.agg.Or(u.Profile)
 	bs.outLoad = bs.outLoad.Add(u.Load)
 	bs.filters += u.Filters
-	bs.units = append(bs.units, u)
+	if bs.track {
+		bs.units = append(bs.units, u)
+	}
 }
 
 // sortBrokersByCapacity returns the broker pool ordered most-resourceful
@@ -102,8 +140,8 @@ func packFirstFit(units []*Unit, brokers []*BrokerSpec, pubs map[string]*bitvect
 		uIn := unitInLoad(u, pubs, inCache)
 		placed := false
 		for _, bs := range states {
-			if bs.fits(u, uIn, pubs) {
-				bs.accept(u, uIn, pubs)
+			if ok, inter := bs.fits(u, uIn, pubs); ok {
+				bs.accept(u, uIn, inter)
 				placed = true
 				break
 			}
@@ -145,8 +183,8 @@ func feasibleFirstFit(units []*Unit, brokers []*BrokerSpec, pubs map[string]*bit
 		uIn := unitInLoad(u, pubs, inCache)
 		placed := false
 		for _, bs := range states {
-			if bs.fits(u, uIn, pubs) {
-				bs.accept(u, uIn, pubs)
+			if ok, inter := bs.fits(u, uIn, pubs); ok {
+				bs.accept(u, uIn, inter)
 				placed = true
 				break
 			}
@@ -166,10 +204,11 @@ func FitsBroker(spec *BrokerSpec, units []*Unit, pubs map[string]*bitvector.Publ
 	cache := make(map[string]bitvector.Load, len(units))
 	for _, u := range units {
 		uIn := unitInLoad(u, pubs, cache)
-		if !bs.fits(u, uIn, pubs) {
+		ok, inter := bs.fits(u, uIn, pubs)
+		if !ok {
 			return false
 		}
-		bs.accept(u, uIn, pubs)
+		bs.accept(u, uIn, inter)
 	}
 	return true
 }

@@ -1,0 +1,199 @@
+package allocation
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// TestCRAMDeterministicAcrossParallelism is the contract the tentpole rides
+// on: Parallelism is purely a wall-clock knob. For each metric and search
+// mode, the Assignment fingerprint and the complete CRAMStats must be
+// identical at every parallelism level.
+func TestCRAMDeterministicAcrossParallelism(t *testing.T) {
+	in := stdInput(t)
+	cases := []struct {
+		name       string
+		metric     bitvector.Metric
+		exhaustive bool
+	}{
+		{"xor-poset", bitvector.MetricXor, false},
+		{"ios-poset", bitvector.MetricIOS, false},
+		{"intersect-exhaustive", bitvector.MetricIntersect, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var wantFP string
+			var wantStats CRAMStats
+			for _, par := range []int{1, 2, 8} {
+				cram := &CRAM{Metric: tc.metric, ExhaustiveSearch: tc.exhaustive, Parallelism: par}
+				a, err := cram.Allocate(in)
+				if err != nil {
+					t.Fatalf("par=%d: %v", par, err)
+				}
+				checkAssignment(t, in, a)
+				fp := a.Fingerprint()
+				if par == 1 {
+					wantFP, wantStats = fp, cram.Stats()
+					continue
+				}
+				if fp != wantFP {
+					t.Errorf("par=%d: assignment differs from serial run", par)
+				}
+				if got := cram.Stats(); got != wantStats {
+					t.Errorf("par=%d: stats differ from serial run:\n got %+v\nwant %+v", par, got, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// TestFeasEngineMatchesFromScratch fuzzes the incremental feasibility
+// engine against the from-scratch reference: random removed sets and merged
+// additions, with occasional committed modifications in between so
+// checkpoint revalidation is exercised too. Worker counts 1-4 rotate across
+// trials, so the parallel broker-scan team is held to the same reference.
+func TestFeasEngineMatchesFromScratch(t *testing.T) {
+	units, pubs := testWorkload(7, 6, 30, 10, 100)
+	brokers := sortBrokersByCapacity(testBrokers(8, 18_000, stdDelay()))
+	base := sortUnitsByBandwidthDesc(units)
+	eng := newFeasEngine(brokers, pubs, testCap, make(map[string]bitvector.Load))
+	version := 1
+	eng.reset(base, version)
+	rng := rand.New(rand.NewSource(99))
+
+	feasYes, feasNo := 0, 0
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(40)
+		removed := make(map[*Unit]bool)
+		var parts []*Unit
+		for len(parts) < k && len(parts) < len(base) {
+			u := base[rng.Intn(len(base))]
+			if removed[u] {
+				continue
+			}
+			removed[u] = true
+			parts = append(parts, u)
+		}
+		var added []*Unit
+		if trial%7 != 0 { // every 7th probe is removal-only
+			added = append(added, MergeUnits(fmt.Sprintf("probe-%d", trial), testCap, parts...))
+		}
+
+		got := eng.probe(removed, added, 1+trial%4)
+
+		var mod []*Unit
+		for _, u := range base {
+			if !removed[u] {
+				mod = append(mod, u)
+			}
+		}
+		mod = sortUnitsByBandwidthDesc(append(mod, added...))
+		want := feasibleFirstFit(mod, brokers, pubs, testCap, make(map[string]bitvector.Load))
+		if got != want {
+			t.Fatalf("trial %d: engine=%v, from-scratch=%v (removed=%d, added=%d)",
+				trial, got, want, len(removed), len(added))
+		}
+		if want {
+			feasYes++
+		} else {
+			feasNo++
+		}
+
+		// Occasionally commit a feasible modification so the engine's base
+		// pool and checkpoints go through the reset/revalidation path.
+		if want && trial%9 == 3 {
+			base = mod
+			version++
+			eng.reset(base, version)
+		}
+	}
+	if feasYes == 0 || feasNo == 0 {
+		t.Logf("one-sided fuzz coverage: %d feasible, %d infeasible", feasYes, feasNo)
+	}
+}
+
+var cramUnitID = regexp.MustCompile(`^cram-u(\d+)$`)
+
+// TestCRAMUnitIDsStableAndDense is the regression test for the probe-time
+// ID-minting bug: binary-search probes used to mint cram-u IDs, so the
+// committed IDs depended on how many infeasible probes ran. IDs must now be
+// identical across equivalent runs and parallelism levels, and dense: every
+// minted index is at most ClustersAccepted (one mint per accepted
+// clustering).
+func TestCRAMUnitIDsStableAndDense(t *testing.T) {
+	in := stdInput(t)
+	collect := func(par int) (map[string]bool, CRAMStats) {
+		cram := &CRAM{Metric: bitvector.MetricIOS, Parallelism: par}
+		a, err := cram.Allocate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[string]bool)
+		for _, us := range a.ByBroker {
+			for _, u := range us {
+				if cramUnitID.MatchString(u.ID) {
+					ids[u.ID] = true
+				}
+			}
+		}
+		return ids, cram.Stats()
+	}
+	ids1, stats := collect(1)
+	if len(ids1) == 0 {
+		t.Fatal("no merged cram-u units produced; workload too easy for the test")
+	}
+	for id := range ids1 {
+		n, _ := strconv.Atoi(cramUnitID.FindStringSubmatch(id)[1])
+		if n > stats.ClustersAccepted {
+			t.Errorf("unit %s exceeds ClustersAccepted=%d: an ID was minted by a non-committed probe",
+				id, stats.ClustersAccepted)
+		}
+	}
+	for _, par := range []int{2, 8} {
+		ids, _ := collect(par)
+		if len(ids) != len(ids1) {
+			t.Fatalf("par=%d: %d merged units, serial had %d", par, len(ids), len(ids1))
+		}
+		for id := range ids1 {
+			if !ids[id] {
+				t.Errorf("par=%d: unit ID %s from serial run missing", par, id)
+			}
+		}
+	}
+}
+
+// TestCRAMConvergenceNoStarvation asserts the liveness property behind the
+// dead-GIF candidate fix: at natural termination, every pair of live GIFs
+// with positive closeness (including self-pairs of multi-unit GIFs) must
+// have been offered and resolved — i.e. blacklisted, since it is still
+// live. A starved pair would be live, positive, and unblacklisted.
+func TestCRAMConvergenceNoStarvation(t *testing.T) {
+	in := stdInput(t)
+	for _, metric := range []bitvector.Metric{bitvector.MetricIOS, bitvector.MetricXor} {
+		cram := &CRAM{Metric: metric, ExhaustiveSearch: true}
+		r, _, err := cram.run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := r.sortedGIFIDs()
+		for i, aID := range ids {
+			a := r.gifs[aID]
+			if len(a.units) >= 2 && bitvector.Closeness(metric, a.profile, a.profile) > 0 &&
+				!r.blacklisted(aID, aID) {
+				t.Errorf("metric=%v: self-pair %s never resolved (%d units)", metric, aID, len(a.units))
+			}
+			for _, bID := range ids[i+1:] {
+				b := r.gifs[bID]
+				if bitvector.Closeness(metric, a.profile, b.profile) > 0 && !r.blacklisted(aID, bID) {
+					t.Errorf("metric=%v: live pair (%s, %s) with positive closeness never resolved",
+						metric, aID, bID)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/parwork"
 )
 
 // FBF is the Fastest Broker First algorithm (Section IV-A): brokers are
@@ -14,6 +15,10 @@ import (
 type FBF struct {
 	// Seed drives the random draw order, making runs reproducible.
 	Seed int64
+	// Parallelism caps the workers of the load-estimation warm-up
+	// (0 = all cores); the packing itself is serial and the result is
+	// identical at any setting.
+	Parallelism int
 }
 
 var _ Algorithm = (*FBF)(nil)
@@ -31,8 +36,9 @@ func (f *FBF) Allocate(in *Input) (*Assignment, error) {
 	rng := rand.New(rand.NewSource(f.Seed))
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
 	brokers := sortBrokersByCapacity(in.Brokers)
-	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity,
-		make(map[string]bitvector.Load))
+	cache := make(map[string]bitvector.Load, len(units))
+	warmInLoadCache(units, in.Publishers, cache, parwork.Workers(f.Parallelism))
+	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, cache)
 	if err != nil {
 		return nil, fmt.Errorf("FBF: %w", err)
 	}
@@ -44,7 +50,12 @@ func (f *FBF) Allocate(in *Input) (*Assignment, error) {
 // requirement (first-fit decreasing). Complexity O(S log S). The paper
 // observes it consistently allocates one less broker than FBF, in line
 // with bin-packing theory.
-type BinPacking struct{}
+type BinPacking struct {
+	// Parallelism caps the workers of the load-estimation warm-up
+	// (0 = all cores); the packing itself is serial and the result is
+	// identical at any setting.
+	Parallelism int
+}
 
 var _ Algorithm = (*BinPacking)(nil)
 
@@ -58,8 +69,9 @@ func (bp *BinPacking) Allocate(in *Input) (*Assignment, error) {
 	}
 	units := sortUnitsByBandwidthDesc(in.Units)
 	brokers := sortBrokersByCapacity(in.Brokers)
-	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity,
-		make(map[string]bitvector.Load))
+	cache := make(map[string]bitvector.Load, len(units))
+	warmInLoadCache(units, in.Publishers, cache, parwork.Workers(bp.Parallelism))
+	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, cache)
 	if err != nil {
 		return nil, fmt.Errorf("BINPACKING: %w", err)
 	}

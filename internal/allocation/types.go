@@ -14,6 +14,7 @@ package allocation
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/greenps/greenps/internal/bitvector"
 	"github.com/greenps/greenps/internal/message"
@@ -205,6 +206,35 @@ func (a *Assignment) SubscriberPlacement() map[string]string {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a canonical textual digest of the assignment:
+// brokers in sorted ID order, each with its units in placement order, each
+// unit with its members and load. Two assignments produce the same
+// fingerprint iff they place the same unit contents on the same brokers
+// with the same predicted loads — the equality the determinism tests
+// assert across runs and parallelism levels.
+func (a *Assignment) Fingerprint() string {
+	var sb strings.Builder
+	for _, b := range a.AllocatedBrokers() {
+		l := a.Loads[b]
+		fmt.Fprintf(&sb, "%s[in=%.6f,%.6f out=%.6f,%.6f f=%d]", b,
+			l.Input.Rate, l.Input.Bandwidth, l.Output.Rate, l.Output.Bandwidth, l.Filters)
+		for _, u := range a.ByBroker[b] {
+			fmt.Fprintf(&sb, "{%s:%.6f,%.6f:", u.ID, u.Load.Rate, u.Load.Bandwidth)
+			for _, m := range u.Members {
+				if m.SubID != "" {
+					sb.WriteString(m.SubID)
+				} else {
+					sb.WriteString("broker:" + m.ChildBroker)
+				}
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('}')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 // CheckCapacity verifies that every allocated broker is within both

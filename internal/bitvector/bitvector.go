@@ -26,6 +26,12 @@ const wordBits = 64
 
 // Vector is a bounded, windowed bit vector over a publisher's message ID
 // space. The zero Vector is not usable; construct with New.
+//
+// Concurrency: a Vector is not synchronized. The read-only operations
+// (Get, Count, Fraction, Window, the *Count pair functions, Clone, String,
+// Snapshot) are safe to call concurrently from multiple goroutines as long
+// as no goroutine is mutating the vector; Set, Observe, and Or require
+// exclusive access.
 type Vector struct {
 	// firstID is the message ID corresponding to bit 0.
 	firstID int

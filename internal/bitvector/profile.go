@@ -105,6 +105,15 @@ func ParseMetric(s string) (Metric, error) {
 
 // Profile is a subscription profile: one windowed bit vector per publisher
 // the subscription received publications from, keyed by advertisement ID.
+//
+// Concurrency: a Profile is not synchronized. Any number of goroutines may
+// call the read-only functions concurrently on the same profiles
+// (Closeness, Relate, IntersectCount, UnionCount, DiffCount,
+// XorProfileCount, EstimateLoad, IntersectLoad, Count, Empty, Vector,
+// Publishers, FingerprintKey, Clone, Snapshot) as long as no goroutine is
+// mutating them; the mutators (Record, Sync, Or) require exclusive access.
+// The parallel CRAM paths rely on this: profiles are frozen while the
+// allocation algorithms run.
 type Profile struct {
 	capacity int
 	vectors  map[string]*Vector

@@ -62,6 +62,10 @@ type Config struct {
 	DisableGIFGrouping bool
 	ExhaustiveSearch   bool
 	DisableOneToMany   bool
+	// Parallelism caps the worker count of the allocation algorithms'
+	// parallel inner loops (0 = all cores). Results are bit-for-bit
+	// identical at any setting; only wall-clock time changes.
+	Parallelism int
 	// Overlay ablation switches (experiment E10).
 	DisableEliminateForwarders bool
 	DisableTakeover            bool
@@ -180,13 +184,14 @@ func newAlgorithm(cfg Config) (allocation.Algorithm, error) {
 			DisableGIFGrouping: cfg.DisableGIFGrouping,
 			ExhaustiveSearch:   cfg.ExhaustiveSearch,
 			DisableOneToMany:   cfg.DisableOneToMany,
+			Parallelism:        cfg.Parallelism,
 		}
 	}
 	switch cfg.Algorithm {
 	case AlgFBF:
-		return &allocation.FBF{Seed: cfg.Seed}, nil
+		return &allocation.FBF{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, nil
 	case AlgBinPacking:
-		return &allocation.BinPacking{}, nil
+		return &allocation.BinPacking{Parallelism: cfg.Parallelism}, nil
 	case AlgCRAMIntersect:
 		return mkCRAM(bitvector.MetricIntersect), nil
 	case AlgCRAMXor:
@@ -248,7 +253,7 @@ func planPairwise(plan *Plan, in *allocation.Input, cfg Config) error {
 	case AlgPairwiseN:
 		k = len(in.Brokers)
 	case AlgPairwiseK:
-		cram := &allocation.CRAM{Metric: bitvector.MetricXor}
+		cram := &allocation.CRAM{Metric: bitvector.MetricXor, Parallelism: cfg.Parallelism}
 		ca, err := cram.Allocate(in)
 		if err != nil {
 			return fmt.Errorf("core: PAIRWISE-K needs CRAM-XOR's cluster count: %w", err)

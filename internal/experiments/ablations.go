@@ -34,10 +34,11 @@ func CRAMAblation(cfg Config) (*metrics.Series, error) {
 		ID: "E8",
 		Title: fmt.Sprintf("CRAM optimization ablation (%d subscriptions, %d brokers)",
 			len(sc.Subscribers), c.Brokers),
-		Header: []string{"variant", "groups", "closeness comps", "pack attempts",
-			"brokers", "compute"},
+		Header: []string{"variant", "groups", "closeness comps", "cover comps",
+			"pack attempts", "brokers", "compute"},
 		Notes: []string{
 			"paper: 8,000 subs -> ~3,200 GIFs (61% fewer); ~5,000,000 -> ~280,000 computations with the poset; XOR >= 75% slower",
+			"closeness comps counts closeness evaluations only; the greedy set cover's DiffCount work is the separate cover-comps column",
 		},
 	}
 	variants := []struct {
@@ -55,6 +56,7 @@ func CRAMAblation(cfg Config) (*metrics.Series, error) {
 	for _, v := range variants {
 		cc := v.cc
 		cc.Seed = c.Seed
+		cc.Parallelism = c.Parallelism
 		started := time.Now()
 		plan, err := core.ComputePlan(infos, cc)
 		if err != nil {
@@ -63,7 +65,8 @@ func CRAMAblation(cfg Config) (*metrics.Series, error) {
 		elapsed := time.Since(started)
 		st := plan.CRAMStats
 		out.AddRow(v.name, metrics.I(st.InitialGIFs), metrics.I(st.ClosenessComputations),
-			metrics.I(st.PackAttempts), metrics.I(plan.NumBrokers()), metrics.Dur(elapsed))
+			metrics.I(st.CoverComputations), metrics.I(st.PackAttempts),
+			metrics.I(plan.NumBrokers()), metrics.Dur(elapsed))
 		c.logf("E8 %s: gifs=%d comps=%d brokers=%d (%.1fs)",
 			v.name, st.InitialGIFs, st.ClosenessComputations, plan.NumBrokers(), elapsed.Seconds())
 	}
@@ -113,6 +116,7 @@ func LargeScale(cfg Config, full bool) (*metrics.Series, error) {
 				ProfileRounds: c.ProfileRounds,
 				MeasureRounds: c.MeasureRounds,
 				Seed:          c.Seed,
+				Core:          core.Config{Parallelism: c.Parallelism},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: E9 %s/%d: %w", ap, s.brokers, err)
@@ -161,6 +165,7 @@ func OverlayAblation(cfg Config) (*metrics.Series, error) {
 	for _, v := range variants {
 		cc := v.cc
 		cc.Seed = c.Seed
+		cc.Parallelism = c.Parallelism
 		plan, err := core.ComputePlan(infos, cc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E10 %s: %w", v.name, err)
@@ -205,6 +210,7 @@ func GrapeOnly(cfg Config) (*metrics.Series, error) {
 			ProfileRounds: c.ProfileRounds,
 			MeasureRounds: c.MeasureRounds,
 			Seed:          c.Seed,
+			Core:          core.Config{Parallelism: c.Parallelism},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E11 %s: %w", ap, err)

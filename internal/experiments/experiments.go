@@ -10,6 +10,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/greenps/greenps/internal/core"
 	"github.com/greenps/greenps/internal/metrics"
 	"github.com/greenps/greenps/internal/sim"
 	"github.com/greenps/greenps/internal/workload"
@@ -32,6 +33,10 @@ type Config struct {
 	MeasureRounds int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism caps the allocation algorithms' worker count
+	// (0 = all cores). Results are identical at any setting; only the
+	// compute-time columns change.
+	Parallelism int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -145,6 +150,7 @@ func (c Config) runSweep(hetero bool, sizes []int) (*Sweep, error) {
 				ProfileRounds: c.ProfileRounds,
 				MeasureRounds: c.MeasureRounds,
 				Seed:          c.Seed,
+				Core:          core.Config{Parallelism: c.Parallelism},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s at size %d: %w", ap, size, err)

@@ -1,0 +1,58 @@
+// Package parwork provides the deterministic fork/join helper shared by the
+// allocation and poset hot paths. It deliberately exposes only a chunked
+// parallel-for: callers split index ranges across workers, write results
+// into pre-sized slices (or reduce per-chunk partials in canonical chunk
+// order), and therefore produce bit-for-bit identical output at any worker
+// count. No work item may depend on another item scheduled in the same
+// call.
+package parwork
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a parallelism setting: values <= 0 mean "all cores"
+// (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// minChunk is the smallest per-worker slice worth a goroutine; below
+// workers*minChunk items the loop runs inline on the caller's goroutine.
+const minChunk = 16
+
+// Run executes fn over the half-open chunks of [0, n) using at most the
+// given number of workers. fn must treat its [lo, hi) range independently
+// of every other chunk; chunk boundaries are a pure scheduling concern and
+// must not influence results. With workers <= 1 (or n too small to pay for
+// goroutines) fn runs inline as fn(0, n).
+func Run(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package parwork
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+// TestRunCoversEveryIndexOnce: at any worker count and size, the chunks
+// partition [0, n) — every index visited exactly once.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 64, 100, 1000} {
+		for _, w := range []int{1, 2, 3, 8, 100} {
+			visits := make([]int32, n)
+			Run(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d w=%d: bad chunk [%d,%d)", n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSmallInline: below workers*minChunk items the whole range must
+// arrive as one inline chunk.
+func TestRunSmallInline(t *testing.T) {
+	calls := 0
+	Run(minChunk*2-1, 2, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != minChunk*2-1 {
+			t.Errorf("inline chunk = [%d,%d), want [0,%d)", lo, hi, minChunk*2-1)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("small range split into %d chunks, want 1 inline call", calls)
+	}
+}

@@ -1,0 +1,88 @@
+package poset
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/greenps/greenps/internal/bitvector"
+)
+
+// randomPoset inserts n random interval profiles (plus a handful of nested
+// ones, so superset chains exist and both prunings engage).
+func randomPoset(t *testing.T, seed int64, n int) (*Poset, []*bitvector.Profile) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := New()
+	var profiles []*bitvector.Profile
+	for i := 0; i < n; i++ {
+		lo := rng.Intn(48)
+		hi := lo + 1 + rng.Intn(63-lo)
+		pr := rangeProf(lo, hi)
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Insert(fmt.Sprintf("n%03d", i), pr, nil); err != nil {
+			// Random intervals collide; equal profiles are rejected by
+			// design. Skip duplicates.
+			continue
+		}
+		profiles = append(profiles, pr)
+	}
+	return p, profiles
+}
+
+// TestSearchClosestParallelMatchesSerial: for every metric, every query, and
+// workers in {1, 2, 8}, the parallel search must return the same best node,
+// the same closeness, and the exact same computation count as the serial
+// search.
+func TestSearchClosestParallelMatchesSerial(t *testing.T) {
+	p, profiles := randomPoset(t, 11, 60)
+	metrics := []bitvector.Metric{
+		bitvector.MetricIntersect, bitvector.MetricXor,
+		bitvector.MetricIOS, bitvector.MetricIOU,
+	}
+	for _, m := range metrics {
+		for qi, q := range profiles {
+			skip := func(n *Node) bool { return n.ID == fmt.Sprintf("n%03d", qi) }
+			want := p.SearchClosest(q, m, skip)
+			for _, w := range []int{1, 2, 8} {
+				got := p.SearchClosestParallel(q, m, skip, w)
+				if got.Best != want.Best || got.Closeness != want.Closeness ||
+					got.Computations != want.Computations {
+					wantID, gotID := "<nil>", "<nil>"
+					if want.Best != nil {
+						wantID = want.Best.ID
+					}
+					if got.Best != nil {
+						gotID = got.Best.ID
+					}
+					t.Fatalf("metric=%v query=%d workers=%d: got (%s, %v, %d), serial (%s, %v, %d)",
+						m, qi, w, gotID, got.Closeness, got.Computations,
+						wantID, want.Closeness, want.Computations)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchClosestParallelConcurrentQueries: many goroutines may search a
+// frozen poset at once (the CRAM seed phase does exactly this). Run with
+// -race to validate.
+func TestSearchClosestParallelConcurrentQueries(t *testing.T) {
+	p, profiles := randomPoset(t, 23, 40)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range profiles {
+				_ = p.SearchClosestParallel(q, bitvector.MetricIOS, func(n *Node) bool {
+					return n.ID == fmt.Sprintf("n%03d", i)
+				}, 1+w%4)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

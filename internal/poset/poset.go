@@ -19,8 +19,10 @@ package poset
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/greenps/greenps/internal/bitvector"
+	"github.com/greenps/greenps/internal/parwork"
 )
 
 // Node is a poset element. The zero Node is invalid; nodes are created by
@@ -344,7 +346,20 @@ type SearchResult struct {
 // query profile using the paper's pruned BFS (both prunings enabled; see
 // SearchClosestOpts).
 func (p *Poset) SearchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool) SearchResult {
-	return p.SearchClosestOpts(query, metric, skip, true)
+	return p.searchClosest(query, metric, skip, true, 1)
+}
+
+// SearchClosestParallel is SearchClosest with the closeness evaluations of
+// each BFS level fanned out across the given number of workers. The result
+// — Best, Closeness, and the exact Computations count — is bit-for-bit
+// identical to the serial search at any worker count: discovery claiming
+// and pruning decisions run serially in the canonical (frontier order ×
+// sorted children) order, and only the independent closeness evaluations
+// of already-claimed nodes run concurrently. The poset must not be mutated
+// during the search; concurrent SearchClosestParallel calls over a frozen
+// poset are safe.
+func (p *Poset) SearchClosestParallel(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, workers int) SearchResult {
+	return p.searchClosest(query, metric, skip, true, workers)
 }
 
 // SearchClosestOpts finds the admissible node with the highest closeness to
@@ -368,6 +383,29 @@ func (p *Poset) SearchClosest(query *bitvector.Profile, metric bitvector.Metric,
 //     reduction the paper reports. The pruned child itself is still
 //     considered as a candidate.
 func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool) SearchResult {
+	return p.searchClosest(query, metric, skip, pruneDecreasing, 1)
+}
+
+// searchClosest is the shared level-synchronous implementation. A serial
+// FIFO BFS visits nodes in discovery order, which is level order, so the
+// level-at-a-time restructuring below visits and claims exactly the nodes
+// the serial search would, in the same order. Each level proceeds in three
+// steps:
+//
+//  1. Claim: walk the frontier in order and mark unseen children seen, in
+//     the canonical (frontier order × sorted Children()) order. Claiming
+//     precedes every closeness evaluation, exactly as in the serial code,
+//     so which parent "owns" a shared child never depends on closeness
+//     values or scheduling.
+//  2. Evaluate: compute the claimed nodes' closeness values — mutually
+//     independent — across the workers, tallying Computations atomically
+//     (an exact sum, not an estimate).
+//  3. Apply: in claimed order, run the pruning rules and candidate update
+//     serially, building the next frontier.
+//
+// Chunk boundaries in step 2 carry no information, so Best, Closeness, and
+// Computations are identical at every worker count.
+func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool, workers int) SearchResult {
 	var res SearchResult
 	prunable := metric != bitvector.MetricXor
 
@@ -375,8 +413,14 @@ func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Met
 		node      *Node
 		closeness float64
 	}
+	type claim struct {
+		node            *Node
+		parentCloseness float64
+		parentIsRoot    bool
+		closeness       float64
+	}
 	seen := make(map[*Node]struct{})
-	var queue []item
+	var comps atomic.Int64
 
 	// better applies the candidate with deterministic tie-breaking (lower
 	// ID wins on equal closeness), so results do not depend on map
@@ -391,35 +435,50 @@ func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Met
 			res.Best, res.Closeness = ch, c
 		}
 	}
-	enqueueChildren := func(n *Node, parentCloseness float64, parentIsRoot bool) {
-		for _, ch := range n.Children() {
-			if _, ok := seen[ch]; ok {
-				continue
+
+	frontier := []item{{node: p.root}}
+	rootLevel := true
+	var claims []claim
+	for len(frontier) > 0 {
+		claims = claims[:0]
+		for _, it := range frontier {
+			for _, ch := range it.node.Children() {
+				if _, ok := seen[ch]; ok {
+					continue
+				}
+				seen[ch] = struct{}{}
+				claims = append(claims, claim{
+					node:            ch,
+					parentCloseness: it.closeness,
+					parentIsRoot:    rootLevel,
+				})
 			}
-			seen[ch] = struct{}{}
-			c := bitvector.Closeness(metric, query, ch.Profile)
-			res.Computations++
+		}
+		parwork.Run(len(claims), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				claims[i].closeness = bitvector.Closeness(metric, query, claims[i].node.Profile)
+			}
+			comps.Add(int64(hi - lo))
+		})
+		frontier = frontier[:0]
+		for _, cl := range claims {
+			c := cl.closeness
 			if prunable {
 				if c == 0 {
 					continue // empty relation: all descendants empty too
 				}
-				if pruneDecreasing && !parentIsRoot && c < parentCloseness {
+				if pruneDecreasing && !cl.parentIsRoot && c < cl.parentCloseness {
 					// Closeness decreasing: candidate only, no descent.
-					better(ch, c)
+					better(cl.node, c)
 					continue
 				}
 			}
-			better(ch, c)
-			queue = append(queue, item{node: ch, closeness: c})
+			better(cl.node, c)
+			frontier = append(frontier, item{node: cl.node, closeness: c})
 		}
+		rootLevel = false
 	}
-
-	enqueueChildren(p.root, 0, true)
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		enqueueChildren(cur.node, cur.closeness, false)
-	}
+	res.Computations = int(comps.Load())
 	if res.Best == nil {
 		res.Closeness = 0
 	}
