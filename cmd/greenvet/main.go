@@ -1,0 +1,80 @@
+// Command greenvet is the multichecker driver for the repo's determinism
+// and concurrency lint suite (see DESIGN.md §8). It loads the packages
+// matching the given go-list patterns, runs every analyzer, prints any
+// findings in file:line:col form, and exits non-zero when there are any —
+// so CI fails on the first reintroduced invariant violation.
+//
+// Usage:
+//
+//	go run ./cmd/greenvet ./...
+//	go run ./cmd/greenvet -only maporder,nondet ./internal/allocation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/greenps/greenps/internal/analysis"
+	"github.com/greenps/greenps/internal/analysis/framework"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: greenvet [-only a,b] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the greenvet determinism & concurrency analyzers over the\ngiven go-list package patterns (default ./...).\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*framework.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "greenvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := framework.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "greenvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// compares its diagnostics against `// want` expectations, mirroring the
+// x/tools package of the same name (reimplemented here because the module
+// tree is offline).
+//
+// A fixture is a directory of Go files, conventionally
+// testdata/src/<name>/, loaded outside the module graph. Lines expecting
+// a diagnostic end with
+//
+//	// want "regexp"
+//
+// and may stack several quoted regexps for several diagnostics on one
+// line. Every diagnostic must be matched by a want on its line and every
+// want must be matched by a diagnostic, so fixtures always encode both a
+// flagged and a clean case.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/framework"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture directory under the given import path (the path
+// selects which package-scope rules apply; see the scope package), runs
+// the analyzers, and reports any mismatch against the fixture's want
+// comments as test errors.
+func Run(t *testing.T, dir, importPath string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	pkg, err := framework.LoadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "re" ...` comment in the fixture.
+func collectWants(pkg *framework.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want %q", pos.Filename, pos.Line, text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: compiling %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}

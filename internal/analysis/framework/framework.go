@@ -1,0 +1,168 @@
+// Package framework is a self-contained miniature of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The repo
+// vendors no third-party modules (the build environment is offline), so
+// greenvet carries this ~small reimplementation of the pieces it needs —
+// the Analyzer/Pass shape is kept deliberately close to go/analysis so the
+// suite can be ported to the real framework mechanically if x/tools ever
+// becomes available.
+//
+// On top of the upstream shape the framework adds one repo-specific
+// feature: suppression directives. A diagnostic site may be annotated with
+//
+//	//greenvet:<name> <justification>
+//
+// on the flagged line or the line directly above it. The justification is
+// mandatory — a bare directive suppresses nothing and instead produces a
+// diagnostic demanding one — so every suppression documents why the
+// invariant provably holds at that site.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run is invoked once per loaded
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CI output.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over a single package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// directive is a parsed //greenvet:<name> comment.
+type directive struct {
+	name string
+	why  string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package syntax in file-name order (comments included).
+	Files []*ast.File
+	// Pkg and Info are the type-checker outputs for Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// Imports is the set of import paths the package's files import
+	// directly.
+	Imports map[string]bool
+
+	diags      *[]Diagnostic
+	directives map[string]map[int]directive // file -> line -> directive
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether a //greenvet:<name> directive covers pos (on
+// the same line or the line immediately above). A directive with an empty
+// justification still suppresses the original finding but reports a
+// diagnostic demanding the justification, so it can never silence CI.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		d, ok := byLine[line]
+		if !ok || d.name != name {
+			continue
+		}
+		if strings.TrimSpace(d.why) == "" {
+			p.Reportf(pos, "//greenvet:%s suppression requires a justification", name)
+		}
+		return true
+	}
+	return false
+}
+
+// parseDirectives indexes every //greenvet: comment by file and line.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]directive {
+	out := make(map[string]map[int]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, " ")
+				if !strings.HasPrefix(text, "greenvet:") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "greenvet:")
+				name, why, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]directive)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = directive{name: name, why: why}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package and returns the combined
+// findings sorted by position then analyzer name, so output order is
+// deterministic regardless of package or analyzer order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Imports:    pkg.Imports,
+				diags:      &diags,
+				directives: dirs,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

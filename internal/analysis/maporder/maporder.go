@@ -1,0 +1,384 @@
+// Package maporder flags `for range` loops over maps in the deterministic
+// packages whose bodies are order-dependent. Go randomizes map iteration
+// order per loop, so any observable effect of the visit order — element
+// choice, float accumulation, append order that is never sorted — makes
+// the produced plan differ between two runs over the same broker snapshot,
+// which silently corrupts CROC's plan comparison and the E7/E8 tables.
+//
+// A loop is accepted without annotation when the analyzer can prove the
+// body commutes across iterations:
+//
+//   - writes into maps or sets keyed by the loop variable,
+//   - integer counter accumulation (+=, -=, |=, &=, ^=, ++, --; floating
+//     point is rejected — FP addition is not associative),
+//   - delete calls, pure guards, and
+//   - appends to a slice that the enclosing function provably sorts after
+//     the loop.
+//
+// Everything else needs either sorted-key iteration or a
+// //greenvet:ordered <justification> directive.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-dependent iteration over maps in the deterministic packages",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !scope.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		framework.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !framework.IsMapType(pass.Info.TypeOf(rs.X)) {
+				return true
+			}
+			if pass.Suppressed(rs.Pos(), "ordered") {
+				return true
+			}
+			if orderInsensitive(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has an order-dependent body; iterate sorted keys, make the body commutative, or annotate //greenvet:ordered <justification>",
+				framework.ExprString(pass.Fset, rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// checker accumulates the proof state for one candidate loop.
+type checker struct {
+	pass *framework.Pass
+	// keyObj is the loop's key variable, used to accept writes indexed by
+	// the (per-iteration unique) key.
+	keyObj types.Object
+	// appended collects slice variables the body appends to; they are
+	// admissible only if the enclosing function sorts them after the loop.
+	appended []types.Object
+}
+
+// orderInsensitive reports whether every statement of the loop body
+// commutes across iterations (append-then-sort handled via the enclosing
+// function).
+func orderInsensitive(pass *framework.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	c := &checker{pass: pass}
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		c.keyObj = pass.Info.Defs[id]
+		if c.keyObj == nil {
+			c.keyObj = pass.Info.Uses[id]
+		}
+	}
+	if !c.stmtsOK(rs.Body.List) {
+		return false
+	}
+	if len(c.appended) == 0 {
+		return true
+	}
+	fnBody := framework.EnclosingFunc(stack)
+	if fnBody == nil {
+		return false
+	}
+	for _, obj := range c.appended {
+		if !sortedAfter(pass, fnBody, rs.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtsOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtOK(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(st)
+	case *ast.IncDecStmt:
+		return c.writeTargetOK(st.X) && framework.IsIntegerType(c.pass.Info.TypeOf(st.X))
+	case *ast.ExprStmt:
+		// Only the delete builtin is an admissible bare call.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := c.pass.Info.Uses[fn].(*types.Builtin)
+		if !ok || b.Name() != "delete" {
+			return false
+		}
+		for _, arg := range call.Args {
+			if !framework.IsPure(c.pass.Info, arg) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		return c.ifOK(st)
+	case *ast.RangeStmt:
+		// A nested range commutes if its own body does (and the ranged
+		// expression is pure).
+		return framework.IsPure(c.pass.Info, st.X) && c.stmtsOK(st.Body.List)
+	case *ast.BlockStmt:
+		return c.stmtsOK(st.List)
+	case *ast.BranchStmt:
+		// A labelless continue merely filters; break/goto make the visit
+		// order observable.
+		return st.Tok == token.CONTINUE && st.Label == nil
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !framework.IsPure(c.pass.Info, v) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *checker) ifOK(st *ast.IfStmt) bool {
+	if st.Init != nil {
+		init, ok := st.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE {
+			return false
+		}
+		for _, r := range init.Rhs {
+			if !framework.IsPure(c.pass.Info, r) {
+				return false
+			}
+		}
+	}
+	if !framework.IsPure(c.pass.Info, st.Cond) {
+		return false
+	}
+	if !c.stmtsOK(st.Body.List) {
+		return false
+	}
+	switch e := st.Else.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		return c.stmtsOK(e.List)
+	case *ast.IfStmt:
+		return c.ifOK(e)
+	default:
+		return false
+	}
+}
+
+func (c *checker) assignOK(st *ast.AssignStmt) bool {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// s = append(s, pure...) — admissible if s is later sorted.
+		if obj, ok := c.appendTarget(st); ok {
+			c.appended = append(c.appended, obj)
+			return true
+		}
+		for _, r := range st.Rhs {
+			if !framework.IsPure(c.pass.Info, r) {
+				return false
+			}
+		}
+		if st.Tok == token.DEFINE {
+			return true // fresh per-iteration locals
+		}
+		for _, l := range st.Lhs {
+			if !c.writeTargetOK(l) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return false
+		}
+		if !framework.IsIntegerType(c.pass.Info.TypeOf(st.Lhs[0])) {
+			return false
+		}
+		return framework.IsPure(c.pass.Info, st.Rhs[0])
+	default:
+		return false
+	}
+}
+
+// appendTarget matches `s = append(s, args...)` (or map-of-slices
+// `m[k] = append(m[k], args...)`) with pure appended arguments, returning
+// the slice variable for the sortedAfter requirement. The map-of-slices
+// form needs no later sort: distinct keys make the per-key appends
+// independent.
+func (c *checker) appendTarget(st *ast.AssignStmt) (types.Object, bool) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if b, ok := c.pass.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	for _, arg := range call.Args[1:] {
+		if !framework.IsPure(c.pass.Info, arg) {
+			return nil, false
+		}
+	}
+	switch lhs := st.Lhs[0].(type) {
+	case *ast.Ident:
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := c.objOf(lhs)
+		if obj == nil || c.objOf(first) != obj {
+			return nil, false
+		}
+		return obj, true
+	case *ast.IndexExpr:
+		if !c.writeTargetOK(lhs) {
+			return nil, false
+		}
+		// m[k] = append(m[k], ...): the first append argument must be the
+		// same indexed element.
+		if idx, ok := call.Args[0].(*ast.IndexExpr); ok &&
+			framework.IsMapType(c.pass.Info.TypeOf(idx.X)) &&
+			c.mentionsKey(idx.Index) {
+			return nil, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// writeTargetOK accepts write targets whose iterations cannot collide:
+// the blank identifier, map elements, and slice elements indexed by the
+// (unique per iteration) loop key.
+func (c *checker) writeTargetOK(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "_"
+	case *ast.IndexExpr:
+		if !framework.IsPure(c.pass.Info, t.Index) || !framework.IsPure(c.pass.Info, t.X) {
+			return false
+		}
+		if framework.IsMapType(c.pass.Info.TypeOf(t.X)) {
+			return true
+		}
+		return c.mentionsKey(t.Index)
+	case *ast.ParenExpr:
+		return c.writeTargetOK(t.X)
+	default:
+		return false
+	}
+}
+
+// mentionsKey reports whether the expression references the loop's key
+// variable (making per-iteration index values distinct).
+func (c *checker) mentionsKey(e ast.Expr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.objOf(id) == c.keyObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.Info.Defs[id]
+}
+
+// sortFuncs are the canonical sorters: a call to one of these on the
+// appended slice, after the loop, launders the nondeterministic append
+// order.
+var sortFuncs = map[string]bool{
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether the enclosing function sorts the slice
+// variable after the loop ends.
+func sortedAfter(pass *framework.Pass, fnBody *ast.BlockStmt, loopEnd token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loopEnd || len(call.Args) == 0 {
+			return true
+		}
+		fn := framework.FuncOf(pass.Info, call.Fun)
+		if fn == nil || !sortFuncs[fn.Pkg().Name()+"."+fn.Name()] {
+			return true
+		}
+		arg := call.Args[0]
+		if id, ok := arg.(*ast.Ident); ok {
+			o := pass.Info.Uses[id]
+			if o == nil {
+				o = pass.Info.Defs[id]
+			}
+			if o == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,92 @@
+// Fixture for the maporder analyzer: each flagged loop carries a want
+// comment; the clean loops document the commutative patterns the checker
+// accepts without annotation.
+package maporder
+
+import "sort"
+
+// pickAny returns an arbitrary element — the classic order-dependent loop.
+func pickAny(m map[string]int) string {
+	for k := range m { // want "range over map m has an order-dependent body"
+		return k
+	}
+	return ""
+}
+
+// sumFloats accumulates floats; FP addition is not associative, so the
+// result depends on visit order.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "order-dependent body"
+		total += v
+	}
+	return total
+}
+
+// keysUnsorted lets the append order escape without a laundering sort.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "order-dependent body"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sumInts commutes: integer accumulation is associative.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keysSorted is the canonical accepted pattern: append, then sort.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// index writes each iteration to a distinct map slot keyed by the loop
+// variable; iterations cannot collide.
+func index(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v > 0
+	}
+	return out
+}
+
+// pruned deletes while iterating, which Go defines and which commutes.
+func pruned(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// justified carries an annotation explaining why order cannot matter.
+func justified(m map[string]bool) bool {
+	//greenvet:ordered at most one entry is true by construction in this fixture
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// unjustified shows that a bare directive is rejected: suppression without
+// a reason still fails the build.
+func unjustified(m map[string]int) int {
+	//greenvet:ordered
+	for k := range m { // want "suppression requires a justification"
+		return m[k]
+	}
+	return 0
+}

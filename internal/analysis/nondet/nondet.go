@@ -1,0 +1,109 @@
+// Package nondet forbids sources of hidden nondeterminism in the
+// plan-producing packages: wall-clock reads (time.Now/Since/Until), the
+// global math/rand functions (unseeded, process-global state), core-count
+// queries (runtime.NumCPU/GOMAXPROCS — results must depend only on the
+// explicit Parallelism option, never on the machine), and select
+// statements with multiple communication cases (the runtime picks a ready
+// case uniformly at random).
+//
+// Explicitly seeded sources stay allowed: rand.New and rand.NewSource
+// construct reproducible generators, which is exactly how the FBF and
+// PAIRWISE options plumb their Seed. Test files are exempt by
+// construction (the loader analyzes GoFiles only). Sites that are provably
+// harmless — telemetry that never influences the plan — may carry a
+// //greenvet:nondet-ok <justification> directive.
+package nondet
+
+import (
+	"go/ast"
+
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// Analyzer is the nondet check.
+var Analyzer = &framework.Analyzer{
+	Name: "nondet",
+	Doc:  "forbids wall-clock, global math/rand, core-count queries, and racy selects in plan-producing packages",
+	Run:  run,
+}
+
+// forbidden maps fully qualified package-level functions to the reason
+// they are banned.
+var forbidden = map[string]string{
+	"time.Now":           "wall-clock read",
+	"time.Since":         "wall-clock read",
+	"time.Until":         "wall-clock read",
+	"runtime.NumCPU":     "core-count query; results must depend only on the explicit Parallelism option",
+	"runtime.GOMAXPROCS": "core-count query; results must depend only on the explicit Parallelism option",
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// explicitly seeded sources instead of consuming the global one.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // operates on an explicit *rand.Rand
+}
+
+func run(pass *framework.Pass) error {
+	if !scope.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				checkRef(pass, x)
+			case *ast.SelectStmt:
+				checkSelect(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRef flags any reference (call or function value) to a forbidden
+// package-level function. Catching bare references matters: assigning
+// time.Now to a clock field smuggles the wall clock in just as surely as
+// calling it.
+func checkRef(pass *framework.Pass, sel *ast.SelectorExpr) {
+	fn := framework.FuncOf(pass.Info, sel)
+	if fn == nil {
+		return
+	}
+	key := framework.FuncKey(fn)
+	reason, bad := forbidden[key]
+	if !bad {
+		pkgPath := fn.Pkg().Path()
+		if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randAllowed[fn.Name()] {
+			reason = "global math/rand state; plumb an explicitly seeded *rand.Rand through the options struct"
+			bad = true
+		}
+	}
+	if !bad {
+		return
+	}
+	if pass.Suppressed(sel.Pos(), "nondet-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "reference to %s in deterministic package: %s", key, reason)
+}
+
+// checkSelect flags selects that can choose among multiple ready channels.
+func checkSelect(pass *framework.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms < 2 {
+		return
+	}
+	if pass.Suppressed(sel.Pos(), "nondet-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "select with %d communication cases in deterministic package: the runtime picks a ready case at random", comms)
+}

@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nondet", "fixture/nondet", nondet.Analyzer)
+}

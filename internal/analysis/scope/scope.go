@@ -1,0 +1,53 @@
+// Package scope centralizes which packages each greenvet analyzer applies
+// to. The deterministic core — the packages whose outputs must be
+// bit-for-bit identical across runs, worker counts, and machines, because
+// CROC compares the plans they produce — is enumerated here once, so the
+// analyzers and the documentation cannot drift apart.
+//
+// Fixture packages (loaded from testdata by the analysistest helper) opt
+// in via the "fixture/" import-path prefix, which real packages can never
+// have.
+package scope
+
+import "strings"
+
+// Module is the repo's module path.
+const Module = "github.com/greenps/greenps"
+
+// ParworkPath is the fork/join helper package whose callers waitcheck
+// audits.
+const ParworkPath = Module + "/internal/parwork"
+
+// AllocationPath is the package owning the E7/E8 stat counters.
+const AllocationPath = Module + "/internal/allocation"
+
+// DeterministicPackages are the plan-producing packages: given one broker
+// snapshot they must produce one canonical answer. maporder and nondet
+// enforce their invariants mechanically.
+var DeterministicPackages = []string{
+	AllocationPath,
+	Module + "/internal/poset",
+	Module + "/internal/bitvector",
+	Module + "/internal/core",
+}
+
+// IsFixture reports whether the package is an analysistest fixture.
+func IsFixture(path string) bool { return strings.HasPrefix(path, "fixture/") }
+
+// IsDeterministic reports whether the package belongs to the deterministic
+// core (or is a fixture standing in for one).
+func IsDeterministic(path string) bool {
+	for _, p := range DeterministicPackages {
+		if path == p {
+			return true
+		}
+	}
+	return IsFixture(path)
+}
+
+// IsStatOwner reports whether the package is allowed to mutate the CRAM
+// stat counters: the allocation package itself, or a fixture directory
+// named "allocation" standing in for it.
+func IsStatOwner(path string) bool {
+	return path == AllocationPath || path == "fixture/allocation"
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shadow", "fixture/shadow", shadow.Analyzer)
+}

@@ -1,0 +1,61 @@
+// Fixture for the shadow analyzer: an inner redeclaration is flagged only
+// when the shadowed outer variable is read after the inner scope ends.
+package shadow
+
+import "strconv"
+
+// parse returns the OUTER err, so shadowing it inside the block is the
+// bug-shaped pattern the analyzer exists for.
+func parse(a, b string) (int, error) {
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, err
+	}
+	if b != "" {
+		y, err := strconv.Atoi(b) // want "shadows declaration"
+		_, _ = y, err
+	}
+	return x, err
+}
+
+// clean never reads the outer err after the block, so the shadow is
+// harmless and not reported.
+func clean(a, b string) int {
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0
+	}
+	if b != "" {
+		y, err := strconv.Atoi(b)
+		if err != nil {
+			return 0
+		}
+		return y
+	}
+	return x
+}
+
+// retype reuses the name at a different type, which cannot be mistaken
+// for the outer variable by later reads.
+func retype(n int) int {
+	v := n
+	{
+		v := float64(n)
+		_ = v
+	}
+	return v
+}
+
+// suppressed demonstrates an intentional, justified shadow.
+func suppressed(a, b string) (int, error) {
+	x, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, err
+	}
+	{
+		//greenvet:shadow-ok intentional scratch variables; the outer pair is returned unchanged
+		v, err := strconv.Atoi(b)
+		_, _ = v, err
+	}
+	return x, err
+}

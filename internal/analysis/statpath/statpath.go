@@ -1,0 +1,97 @@
+// Package statpath guards the E7/E8 stat counters. PR 1 established that
+// ClosenessComputations, CoverComputations, and PackAttempts are tallied
+// only on the canonical serial search path — never inside worker
+// goroutines or speculative callbacks — which is what makes the E8 table
+// identical at every Parallelism setting. statpath enforces the two
+// mechanical consequences:
+//
+//  1. Only the allocation package mutates the counters. Everyone else
+//     (croc, experiments, benchmarks) reads them.
+//  2. Inside allocation, a counter mutation must sit in a plain function
+//     body: never inside a function literal (parwork callbacks, the
+//     binary search's eval/mk closures, sort comparators) and never
+//     inside a go statement. Closures are exactly the code that may run
+//     concurrently or speculatively, where a tally would either race or
+//     count mispredicted work.
+//
+// Sites that are provably serial may carry //greenvet:statpath-ok with a
+// justification.
+package statpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// Analyzer is the statpath check.
+var Analyzer = &framework.Analyzer{
+	Name: "statpath",
+	Doc:  "restricts CRAMStats counter mutations to the allocation package's canonical serial path",
+	Run:  run,
+}
+
+// counters are the guarded CRAMStats fields.
+var counters = map[string]bool{
+	"ClosenessComputations": true,
+	"CoverComputations":     true,
+	"PackAttempts":          true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		framework.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkWrite(pass, lhs, stack)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, st.X, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite flags a write whose target is a guarded CRAMStats counter
+// reached outside the allocation package or inside a closure/goroutine.
+func checkWrite(pass *framework.Pass, target ast.Expr, stack []ast.Node) {
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok || !counters[sel.Sel.Name] {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	named, ok := selection.Recv().(*types.Named)
+	if !ok {
+		if ptr, isPtr := selection.Recv().(*types.Pointer); isPtr {
+			named, ok = ptr.Elem().(*types.Named)
+		}
+	}
+	if !ok || named == nil || named.Obj().Name() != "CRAMStats" {
+		return
+	}
+	if !scope.IsStatOwner(pass.Pkg.Path()) {
+		if !pass.Suppressed(sel.Pos(), "statpath-ok") {
+			pass.Reportf(sel.Pos(), "stat counter %s mutated outside the allocation package; counters are written only on CRAM's canonical path", sel.Sel.Name)
+		}
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			if !pass.Suppressed(sel.Pos(), "statpath-ok") {
+				pass.Reportf(sel.Pos(), "stat counter %s mutated inside a function literal/goroutine; counters must be tallied on the canonical serial path only", sel.Sel.Name)
+			}
+			return
+		case *ast.FuncDecl:
+			return // reached the plain enclosing function: canonical path
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package statpath_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/statpath"
+)
+
+// TestStatpathOwner checks the rules inside the stat-owning package:
+// plain-body writes pass, closure/goroutine writes are flagged.
+func TestStatpathOwner(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allocation", "fixture/allocation", statpath.Analyzer)
+}
+
+// TestStatpathForeign checks that any counter mutation outside the
+// allocation package is flagged.
+func TestStatpathForeign(t *testing.T) {
+	analysistest.Run(t, "testdata/src/statother", "fixture/statother", statpath.Analyzer)
+}

@@ -1,0 +1,25 @@
+// Fixture for the statpath analyzer outside the stat-owning package:
+// any counter mutation is rejected, reads pass.
+package statother
+
+// CRAMStats stands in for the allocation package's stats struct (fixtures
+// cannot import each other; statpath matches by type and field name).
+type CRAMStats struct {
+	ClosenessComputations int
+	PackAttempts          int
+}
+
+// bump mutates a counter from outside the allocation package.
+func bump(s *CRAMStats) {
+	s.PackAttempts++ // want "outside the allocation package"
+}
+
+// overwrite is just as forbidden as an increment.
+func overwrite(s *CRAMStats) {
+	s.ClosenessComputations = 0 // want "outside the allocation package"
+}
+
+// read-only access is unrestricted.
+func read(s *CRAMStats) int {
+	return s.PackAttempts
+}

@@ -1,0 +1,24 @@
+// Package analysis aggregates the greenvet analyzer suite. See DESIGN.md
+// §8 for the mapping between each analyzer and the determinism invariant
+// it guards.
+package analysis
+
+import (
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/maporder"
+	"github.com/greenps/greenps/internal/analysis/nondet"
+	"github.com/greenps/greenps/internal/analysis/shadow"
+	"github.com/greenps/greenps/internal/analysis/statpath"
+	"github.com/greenps/greenps/internal/analysis/waitcheck"
+)
+
+// Suite returns every greenvet analyzer in presentation order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		maporder.Analyzer,
+		nondet.Analyzer,
+		statpath.Analyzer,
+		waitcheck.Analyzer,
+		shadow.Analyzer,
+	}
+}

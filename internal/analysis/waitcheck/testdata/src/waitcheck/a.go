@@ -1,0 +1,29 @@
+// Fixture for the waitcheck analyzer: a goroutine launch needs a join in
+// the same function or a justified //greenvet:goroutine-ok directive.
+package waitcheck
+
+import "sync"
+
+// leak detaches a goroutine with no join anywhere in the function.
+func leak(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine launched without a join"
+}
+
+// joined is the fork/join discipline waitcheck wants: spawn, then Wait.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// daemon documents an intentional detachment.
+func daemon(ch chan int) {
+	//greenvet:goroutine-ok process-lifetime pump; termination is the fixture's closed channel
+	go func() {
+		for range ch {
+		}
+	}()
+}

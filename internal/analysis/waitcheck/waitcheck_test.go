@@ -1,0 +1,12 @@
+package waitcheck_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/waitcheck"
+)
+
+func TestWaitcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/waitcheck", "fixture/waitcheck", waitcheck.Analyzer)
+}
