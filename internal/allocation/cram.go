@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
-	"sync"
 
 	"github.com/greenps/greenps/internal/bitvector"
 	"github.com/greenps/greenps/internal/parwork"
@@ -327,15 +326,12 @@ func (r *cramRun) searchMaxFeasible(lo, hi int, mk func(k int) (map[*Unit]bool, 
 					per = 1
 				}
 				results := make([]bool, len(targets))
-				var wg sync.WaitGroup
+				var g parwork.Group
 				for i, t := range targets {
-					wg.Add(1)
-					go func(i, t int) {
-						defer wg.Done()
-						results[i] = eval(t, per)
-					}(i, t)
+					i, t := i, t
+					g.Go(func() { results[i] = eval(t, per) })
 				}
-				wg.Wait()
+				g.Wait()
 				for i, t := range targets {
 					memo[t] = results[i]
 				}
@@ -421,8 +417,8 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 		}
 		g.units = append(g.units, u)
 	}
-	for _, g := range r.gifs {
-		g.sortUnits()
+	for _, id := range r.sortedGIFIDs() {
+		r.gifs[id].sortUnits()
 	}
 	c.stats.InitialGIFs = len(r.gifs)
 
@@ -861,6 +857,7 @@ func (r *cramRun) dropGIF(g *gif) {
 	if !r.c.DisableGIFGrouping {
 		delete(r.byKey, g.profile.FingerprintKey())
 	} else {
+		//greenvet:ordered at most one entry maps to g, so which order the scan visits the rest in is unobservable
 		for k, v := range r.byKey {
 			if v == g {
 				delete(r.byKey, k)

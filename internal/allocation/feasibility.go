@@ -148,6 +148,7 @@ func (e *feasEngine) recordCkpt(pos int, states []*brokerState) {
 func (e *feasEngine) probe(removed map[*Unit]bool, added []*Unit, workers int) bool {
 	// Earliest position at which the probe's stream diverges from base.
 	p := len(e.base)
+	//greenvet:ordered min-reduction over a set; the minimum is the same in any visit order
 	for u := range removed {
 		if i, ok := e.index[u]; ok && i < p {
 			p = i
@@ -289,6 +290,7 @@ type placeResult struct {
 func newProbeTeam(states []*brokerState, pubs map[string]*bitvector.PublisherStats, w int) *probeTeam {
 	t := &probeTeam{states: states, pubs: pubs, w: w, res: make([]placeResult, w)}
 	for i := 1; i < w; i++ {
+		//greenvet:goroutine-ok each round joins workers via the done counter in place(); release() terminates them through the round/stop protocol and is deferred on every probe exit path
 		go t.worker(i)
 	}
 	return t

@@ -26,11 +26,24 @@ type Pairwise struct {
 	Variant string
 	// Seed drives the random cluster-to-broker assignment.
 	Seed int64
+	// Rand, when non-nil, supplies the cluster-to-broker draws instead of
+	// a generator seeded from Seed. It must be explicitly seeded; the
+	// allocation package never falls back to the process-global
+	// math/rand state (greenvet's nondet analyzer rejects it).
+	Rand *rand.Rand
 	// Strict makes Allocate fail when a cluster exceeds its randomly
 	// chosen broker's capacity. The paper's derivatives place clusters
 	// regardless (the resulting overload is exactly what the evaluation
 	// exposes), so Strict defaults to false.
 	Strict bool
+}
+
+// rng returns the configured generator, or one seeded from Seed.
+func (p *Pairwise) rng() *rand.Rand {
+	if p.Rand != nil {
+		return p.Rand
+	}
+	return rand.New(rand.NewSource(p.Seed))
 }
 
 var _ Algorithm = (*Pairwise)(nil)
@@ -180,7 +193,7 @@ func (p *Pairwise) Allocate(in *Input) (*Assignment, error) {
 	}
 
 	// Random assignment of clusters to brokers (no capacity awareness).
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := p.rng()
 	brokers := sortBrokersByCapacity(in.Brokers)
 	out := &Assignment{
 		ByBroker: make(map[string][]*Unit),

@@ -15,6 +15,11 @@ import (
 type FBF struct {
 	// Seed drives the random draw order, making runs reproducible.
 	Seed int64
+	// Rand, when non-nil, supplies the draw order instead of a generator
+	// seeded from Seed. It must be explicitly seeded; the allocation
+	// package never falls back to the process-global math/rand state
+	// (greenvet's nondet analyzer rejects it).
+	Rand *rand.Rand
 	// Parallelism caps the workers of the load-estimation warm-up
 	// (0 = all cores); the packing itself is serial and the result is
 	// identical at any setting.
@@ -33,7 +38,10 @@ func (f *FBF) Allocate(in *Input) (*Assignment, error) {
 	}
 	units := make([]*Unit, len(in.Units))
 	copy(units, in.Units)
-	rng := rand.New(rand.NewSource(f.Seed))
+	rng := f.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(f.Seed))
+	}
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
 	brokers := sortBrokersByCapacity(in.Brokers)
 	cache := make(map[string]bitvector.Load, len(units))

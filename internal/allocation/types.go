@@ -240,7 +240,15 @@ func (a *Assignment) Fingerprint() string {
 // CheckCapacity verifies that every allocated broker is within both
 // capacity constraints; used by tests and by Phase 3's optimizations.
 func (a *Assignment) CheckCapacity(pubs map[string]*bitvector.PublisherStats) error {
-	for id, load := range a.Loads {
+	// Walk brokers in sorted order so that with several violations the
+	// reported one is always the same.
+	ids := make([]string, 0, len(a.Loads))
+	for id := range a.Loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		load := a.Loads[id]
 		spec, ok := a.Specs[id]
 		if !ok {
 			return fmt.Errorf("allocation: allocated broker %q missing from specs", id)

@@ -117,6 +117,13 @@ func ParseMetric(s string) (Metric, error) {
 type Profile struct {
 	capacity int
 	vectors  map[string]*Vector
+	// keys mirrors the map keys in sorted order and is maintained eagerly
+	// by the mutators (no lazy rebuild — that would race with the
+	// concurrent read-only callers documented above). Every aggregation
+	// loop walks keys instead of the map: float accumulation in
+	// EstimateLoad/IntersectLoad is order-sensitive, so map iteration
+	// would make load estimates differ bit-for-bit between runs.
+	keys []string
 }
 
 // NewProfile returns an empty profile whose vectors will have the given
@@ -135,16 +142,25 @@ func (p *Profile) Record(advID string, seq int) {
 	if !ok {
 		v = New(p.capacity)
 		p.vectors[advID] = v
+		p.insertKey(advID)
 	}
 	v.Set(seq)
+}
+
+// insertKey adds a newly created advertisement ID to the sorted key slice.
+func (p *Profile) insertKey(advID string) {
+	i := sort.SearchStrings(p.keys, advID)
+	p.keys = append(p.keys, "")
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = advID
 }
 
 // Sync advances every per-publisher window to the publisher's last sent
 // message ID so that unmatched publications count against the window.
 func (p *Profile) Sync(stats map[string]*PublisherStats) {
-	for advID, v := range p.vectors {
+	for _, advID := range p.keys {
 		if st, ok := stats[advID]; ok {
-			v.Observe(st.LastSeq)
+			p.vectors[advID].Observe(st.LastSeq)
 		}
 	}
 }
@@ -154,19 +170,15 @@ func (p *Profile) Vector(advID string) *Vector { return p.vectors[advID] }
 
 // Publishers returns the advertisement IDs present, sorted for determinism.
 func (p *Profile) Publishers() []string {
-	out := make([]string, 0, len(p.vectors))
-	for k := range p.vectors {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), p.keys...)
 }
 
 // Clone returns a deep copy.
 func (p *Profile) Clone() *Profile {
 	cp := NewProfile(p.capacity)
-	for k, v := range p.vectors {
-		cp.vectors[k] = v.Clone()
+	cp.keys = append(cp.keys, p.keys...)
+	for _, k := range p.keys {
+		cp.vectors[k] = p.vectors[k].Clone()
 	}
 	return cp
 }
@@ -175,13 +187,14 @@ func (p *Profile) Clone() *Profile {
 // used when clustering subscriptions and when aggregating a broker's hosted
 // subscriptions into a pseudo-subscription in Phase 3).
 func (p *Profile) Or(o *Profile) {
-	for advID, ov := range o.vectors {
+	for _, advID := range o.keys {
 		v, ok := p.vectors[advID]
 		if !ok {
 			v = New(p.capacity)
 			p.vectors[advID] = v
+			p.insertKey(advID)
 		}
-		v.Or(ov)
+		v.Or(o.vectors[advID])
 	}
 }
 
@@ -199,8 +212,8 @@ func Merged(capacity int, profiles ...*Profile) *Profile {
 // Count returns the total number of set bits across all publishers.
 func (p *Profile) Count() int {
 	n := 0
-	for _, v := range p.vectors {
-		n += v.Count()
+	for _, k := range p.keys {
+		n += p.vectors[k].Count()
 	}
 	return n
 }
@@ -211,9 +224,9 @@ func (p *Profile) Empty() bool { return p.Count() == 0 }
 // IntersectCount returns |a ∩ b| summed across publishers.
 func IntersectCount(a, b *Profile) int {
 	n := 0
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
 		if bv, ok := b.vectors[advID]; ok {
-			n += AndCount(av, bv)
+			n += AndCount(a.vectors[advID], bv)
 		}
 	}
 	return n
@@ -222,16 +235,17 @@ func IntersectCount(a, b *Profile) int {
 // UnionCount returns |a ∪ b| summed across publishers.
 func UnionCount(a, b *Profile) int {
 	n := 0
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
+		av := a.vectors[advID]
 		if bv, ok := b.vectors[advID]; ok {
 			n += OrCount(av, bv)
 		} else {
 			n += av.Count()
 		}
 	}
-	for advID, bv := range b.vectors {
+	for _, advID := range b.keys {
 		if _, ok := a.vectors[advID]; !ok {
-			n += bv.Count()
+			n += b.vectors[advID].Count()
 		}
 	}
 	return n
@@ -242,7 +256,8 @@ func UnionCount(a, b *Profile) int {
 // to rank covered GIFs by uncovered contribution.
 func DiffCount(a, b *Profile) int {
 	n := 0
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
+		av := a.vectors[advID]
 		if bv, ok := b.vectors[advID]; ok {
 			n += AndNotCount(av, bv)
 		} else {
@@ -255,16 +270,17 @@ func DiffCount(a, b *Profile) int {
 // XorProfileCount returns |a ⊕ b| summed across publishers.
 func XorProfileCount(a, b *Profile) int {
 	n := 0
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
+		av := a.vectors[advID]
 		if bv, ok := b.vectors[advID]; ok {
 			n += XorCount(av, bv)
 		} else {
 			n += av.Count()
 		}
 	}
-	for advID, bv := range b.vectors {
+	for _, advID := range b.keys {
 		if _, ok := a.vectors[advID]; !ok {
-			n += bv.Count()
+			n += b.vectors[advID].Count()
 		}
 	}
 	return n
@@ -316,7 +332,8 @@ func Relate(a, b *Profile) Relationship {
 	onlyA := 0 // |a \ b|
 	onlyB := 0 // |b \ a|
 	both := 0  // |a ∩ b|
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
+		av := a.vectors[advID]
 		if bv, ok := b.vectors[advID]; ok {
 			both += AndCount(av, bv)
 			onlyA += AndNotCount(av, bv)
@@ -325,9 +342,9 @@ func Relate(a, b *Profile) Relationship {
 			onlyA += av.Count()
 		}
 	}
-	for advID, bv := range b.vectors {
+	for _, advID := range b.keys {
 		if _, ok := a.vectors[advID]; !ok {
-			onlyB += bv.Count()
+			onlyB += b.vectors[advID].Count()
 		}
 	}
 	switch {
@@ -365,13 +382,16 @@ func (l Load) Add(o Load) Load {
 // times the publisher's rate and bandwidth (e.g. 10 of 100 bits set against
 // a 50 msg/s, 50 kB/s publisher induces 5 msg/s and 5 kB/s).
 func EstimateLoad(p *Profile, stats map[string]*PublisherStats) Load {
+	// Accumulate in sorted-key order: float addition is not associative,
+	// so summing in map order would change the result bit-for-bit between
+	// runs and break exact plan comparison.
 	var out Load
-	for advID, v := range p.vectors {
+	for _, advID := range p.keys {
 		st, ok := stats[advID]
 		if !ok {
 			continue
 		}
-		f := v.Fraction()
+		f := p.vectors[advID].Fraction()
 		out.Rate += st.Rate * f
 		out.Bandwidth += st.Bandwidth * f
 	}
@@ -391,8 +411,11 @@ func IntersectLoad(a, b *Profile, stats map[string]*PublisherStats) Load {
 	if len(b.vectors) < len(a.vectors) {
 		a, b = b, a
 	}
+	// Sorted-key order for the same reason as EstimateLoad: the float sum
+	// must not depend on map iteration order.
 	var out Load
-	for advID, av := range a.vectors {
+	for _, advID := range a.keys {
+		av := a.vectors[advID]
 		bv, ok := b.vectors[advID]
 		if !ok {
 			continue

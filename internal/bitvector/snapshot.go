@@ -65,8 +65,8 @@ type ProfileSnapshot struct {
 // Snapshot captures the profile's full state.
 func (p *Profile) Snapshot() ProfileSnapshot {
 	out := ProfileSnapshot{Cap: p.capacity, Vectors: make(map[string]VectorSnapshot, len(p.vectors))}
-	for advID, v := range p.vectors {
-		out.Vectors[advID] = v.Snapshot()
+	for _, advID := range p.keys {
+		out.Vectors[advID] = p.vectors[advID].Snapshot()
 	}
 	return out
 }
@@ -85,6 +85,7 @@ func ProfileFromSnapshot(s ProfileSnapshot) (*Profile, error) {
 			return nil, fmt.Errorf("bitvector: profile vector %q: %w", advID, err)
 		}
 		p.vectors[advID] = v
+		p.keys = append(p.keys, advID) // keys already sorted above
 	}
 	return p, nil
 }

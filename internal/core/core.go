@@ -57,6 +57,11 @@ type Config struct {
 	// Seed drives FBF's draw order and the PAIRWISE/AUTOMATIC random
 	// choices.
 	Seed int64
+	// Clock, when non-nil, is sampled around planning to fill
+	// Plan.ComputeTime (experiment E7). The core package never reads the
+	// wall clock itself — the plan must be a pure function of its inputs —
+	// so callers that want timing pass time.Now explicitly.
+	Clock func() time.Time
 	// CRAM ablation switches (experiment E8); zero values = paper
 	// behavior.
 	DisableGIFGrouping bool
@@ -149,7 +154,10 @@ func inputsFromInfos(infos []message.BrokerInfo, capacity int) (*allocation.Inpu
 // ComputePlan runs Phases 2 and 3 and GRAPE over the gathered broker
 // information.
 func ComputePlan(infos []message.BrokerInfo, cfg Config) (*Plan, error) {
-	started := time.Now()
+	var started time.Time
+	if cfg.Clock != nil {
+		started = cfg.Clock()
+	}
 	in, err := inputsFromInfos(infos, cfg.ProfileCapacity)
 	if err != nil {
 		return nil, err
@@ -171,7 +179,9 @@ func ComputePlan(infos []message.BrokerInfo, cfg Config) (*Plan, error) {
 		}
 	}
 	plan.Subscribers = plan.Tree.SubscriberPlacement()
-	plan.ComputeTime = time.Since(started)
+	if cfg.Clock != nil {
+		plan.ComputeTime = cfg.Clock().Sub(started)
+	}
 	return plan, nil
 }
 
@@ -319,6 +329,7 @@ func RandomTree(assign *allocation.Assignment, seed int64) (*overlaybuild.Tree, 
 		t.Parent[id] = parent
 		t.Children[parent] = append(t.Children[parent], id)
 	}
+	//greenvet:ordered each child list is sorted independently; no cross-iteration state
 	for _, kids := range t.Children {
 		sort.Strings(kids)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/greenps/greenps/internal/bitvector"
 	"github.com/greenps/greenps/internal/grape"
@@ -60,7 +61,7 @@ func TestComputePlanAllAlgorithms(t *testing.T) {
 	infos := buildInfos(16, 5, 12)
 	for _, alg := range Algorithms() {
 		t.Run(alg, func(t *testing.T) {
-			plan, err := ComputePlan(infos, Config{Algorithm: alg, Seed: 3, ProfileCapacity: 256})
+			plan, err := ComputePlan(infos, Config{Algorithm: alg, Seed: 3, ProfileCapacity: 256, Clock: time.Now})
 			if err != nil {
 				t.Fatalf("%s: %v", alg, err)
 			}

@@ -56,6 +56,11 @@ func Reconfigure(brokerAddr string, cfg core.Config, timeout time.Duration) (*co
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Clock == nil {
+		// The core package takes the clock as an input so planning stays a
+		// pure function; the live entry point wants real timings.
+		cfg.Clock = time.Now
+	}
 	return core.ComputePlan(infos, cfg)
 }
 

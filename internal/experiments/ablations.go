@@ -57,6 +57,7 @@ func CRAMAblation(cfg Config) (*metrics.Series, error) {
 		cc := v.cc
 		cc.Seed = c.Seed
 		cc.Parallelism = c.Parallelism
+		cc.Clock = time.Now
 		started := time.Now()
 		plan, err := core.ComputePlan(infos, cc)
 		if err != nil {
@@ -166,6 +167,7 @@ func OverlayAblation(cfg Config) (*metrics.Series, error) {
 		cc := v.cc
 		cc.Seed = c.Seed
 		cc.Parallelism = c.Parallelism
+		cc.Clock = time.Now
 		plan, err := core.ComputePlan(infos, cc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E10 %s: %w", v.name, err)

@@ -8,7 +8,9 @@
 package parwork
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -25,11 +27,49 @@ func Workers(n int) int {
 // workers*minChunk items the loop runs inline on the caller's goroutine.
 const minChunk = 16
 
+// PanicError carries a panic recovered on a parallel worker back to the
+// coordinator, preserving the worker's stack. Run and Group re-panic with
+// a *PanicError in canonical order (chunk order for Run, spawn order for
+// Group) so that a crash is reproducible at any worker count instead of
+// killing the process from whichever goroutine lost the race.
+type PanicError struct {
+	// Value is the value originally passed to panic.
+	Value any
+	// Stack is the worker's stack trace at the point of the panic.
+	Stack []byte
+}
+
+// Error formats the original panic value followed by the worker stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parwork: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// call runs fn(lo, hi), converting a panic into a *PanicError. An
+// already-wrapped *PanicError passes through so nested Run calls keep the
+// innermost stack.
+func call(fn func(lo, hi int), lo, hi int) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			if inner, ok := v.(*PanicError); ok {
+				pe = inner
+				return
+			}
+			pe = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(lo, hi)
+	return nil
+}
+
 // Run executes fn over the half-open chunks of [0, n) using at most the
 // given number of workers. fn must treat its [lo, hi) range independently
 // of every other chunk; chunk boundaries are a pure scheduling concern and
 // must not influence results. With workers <= 1 (or n too small to pay for
 // goroutines) fn runs inline as fn(0, n).
+//
+// If fn panics, Run waits for every chunk to finish and then re-panics
+// with a *PanicError for the first panicking chunk in index order — the
+// same chunk at any worker count, including the inline path.
 func Run(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -38,21 +78,85 @@ func Run(n, workers int, fn func(lo, hi int)) {
 		workers = n / minChunk
 	}
 	if workers <= 1 {
-		fn(0, n)
+		if pe := call(fn, 0, n); pe != nil {
+			panic(pe)
+		}
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	panics := make([]*PanicError, (n+chunk-1)/chunk)
 	var wg sync.WaitGroup
+	idx := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(idx, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			panics[idx] = call(fn, lo, hi)
+		}(idx, lo, hi)
+		idx++
 	}
 	wg.Wait()
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
+}
+
+// Group joins goroutines spawned by a single coordinator, replacing the
+// bare `go` + WaitGroup pattern in code that must stay deterministic: Wait
+// blocks until every spawned function returns and then re-panics with a
+// *PanicError for the first panicking goroutine in spawn order, so a
+// worker crash can never be silently swallowed or race another worker's
+// crash for which one kills the process.
+//
+// Go must be called from one goroutine (the coordinator); the spawned
+// functions may run concurrently with each other but not with further Go
+// calls' bookkeeping — the zero Group is ready to use.
+type Group struct {
+	wg sync.WaitGroup
+	// mu guards panics: the coordinator grows it in Go while earlier
+	// workers may still be writing their slots.
+	mu     sync.Mutex
+	panics []*PanicError
+}
+
+// Go runs fn on a new goroutine tracked by the group.
+func (g *Group) Go(fn func()) {
+	g.mu.Lock()
+	slot := len(g.panics)
+	g.panics = append(g.panics, nil)
+	g.mu.Unlock()
+	g.wg.Add(1)
+	//greenvet:goroutine-ok joined by the matching Group.Wait, which re-panics captured worker panics in spawn order
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				pe, ok := v.(*PanicError)
+				if !ok {
+					pe = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+				g.mu.Lock()
+				g.panics[slot] = pe
+				g.mu.Unlock()
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every spawned function has returned, then re-panics
+// the first captured panic in spawn order, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	for _, pe := range g.panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 }

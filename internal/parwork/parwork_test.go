@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -53,5 +54,136 @@ func TestRunSmallInline(t *testing.T) {
 	})
 	if calls != 1 {
 		t.Errorf("small range split into %d chunks, want 1 inline call", calls)
+	}
+}
+
+// TestRunZeroAndOneWorker: the Parallelism=0 ("all cores") and =1 edge
+// cases must both cover the range exactly once; with one worker the whole
+// range must arrive inline as a single chunk.
+func TestRunZeroAndOneWorker(t *testing.T) {
+	const n = 100
+	for _, w := range []int{Workers(0), 1} {
+		visits := make([]int32, n)
+		chunks := 0
+		Run(n, w, func(lo, hi int) {
+			chunks++
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("w=%d: index %d visited %d times", w, i, v)
+			}
+		}
+		if w == 1 && chunks != 1 {
+			t.Errorf("w=1: ran %d chunks, want 1 inline call", chunks)
+		}
+	}
+}
+
+// TestRunPanicPropagation: a worker panic must surface on the caller as a
+// *PanicError naming the first panicking chunk in index order — the same
+// one at any worker count, inline path included.
+func TestRunPanicPropagation(t *testing.T) {
+	const n = 256
+	for _, w := range []int{1, 2, 4, 8} {
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("w=%d: recovered %T (%v), want *PanicError", w, v, v)
+				}
+				if pe.Value != "boom 0" {
+					t.Errorf("w=%d: panic value %v, want first chunk's \"boom 0\"", w, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("w=%d: PanicError carries no stack", w)
+				}
+			}()
+			Run(n, w, func(lo, hi int) {
+				panic("boom " + string(rune('0'+lo/((n+w-1)/w))))
+			})
+			t.Fatalf("w=%d: Run returned normally", w)
+		}()
+	}
+}
+
+// TestRunPanicWaitsForAllChunks: even when one chunk panics, every other
+// chunk must still run to completion before Run re-panics, so no goroutine
+// is left concurrently mutating caller state after Run returns.
+func TestRunPanicWaitsForAllChunks(t *testing.T) {
+	const n = 256
+	const w = 4
+	var ran int32
+	func() {
+		defer func() { recover() }()
+		Run(n, w, func(lo, hi int) {
+			atomic.AddInt32(&ran, int32(hi-lo))
+			if lo == 0 {
+				panic("first chunk dies")
+			}
+		})
+	}()
+	if got := atomic.LoadInt32(&ran); got != n {
+		t.Errorf("only %d of %d indexes processed before re-panic", got, n)
+	}
+}
+
+// TestGroupJoinsAndPropagates: Group.Wait must join every goroutine and
+// re-panic the first captured panic in spawn order.
+func TestGroupJoinsAndPropagates(t *testing.T) {
+	var g Group
+	var done int32
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() {
+			atomic.AddInt32(&done, 1)
+			if i == 3 || i == 5 {
+				panic(i)
+			}
+		})
+	}
+	defer func() {
+		v := recover()
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", v, v)
+		}
+		if pe.Value != 3 {
+			t.Errorf("panic value %v, want 3 (first in spawn order)", pe.Value)
+		}
+		if got := atomic.LoadInt32(&done); got != 8 {
+			t.Errorf("%d of 8 goroutines ran before Wait re-panicked", got)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned normally")
+}
+
+// TestNoGoroutineLeak: Run and Group must leave no goroutines behind,
+// including on the panic paths.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		Run(1000, 8, func(lo, hi int) {})
+		func() {
+			defer func() { recover() }()
+			Run(1000, 8, func(lo, hi int) { panic("x") })
+		}()
+		var g Group
+		for j := 0; j < 4; j++ {
+			g.Go(func() {})
+		}
+		g.Wait()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: %d before, %d after — leak", before, after)
 	}
 }

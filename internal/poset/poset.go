@@ -253,6 +253,7 @@ func maximalOnly(cands []*Node) []*Node {
 		for len(queue) > 0 && !reachable {
 			cur := queue[0]
 			queue = queue[1:]
+			//greenvet:ordered pure reachability query; the boolean result is the same in any visit order
 			for par := range cur.parents {
 				if _, ok := seen[par]; ok {
 					continue
@@ -312,6 +313,7 @@ func (p *Poset) CoveredBy(n *Node) []*Node {
 	var out []*Node
 	seen := make(map[*Node]struct{})
 	queue := make([]*Node, 0, len(n.children))
+	//greenvet:ordered collects the full descendant set; out is sorted by ID before returning
 	for ch := range n.children {
 		queue = append(queue, ch)
 		seen[ch] = struct{}{}
@@ -320,6 +322,7 @@ func (p *Poset) CoveredBy(n *Node) []*Node {
 		cur := queue[0]
 		queue = queue[1:]
 		out = append(out, cur)
+		//greenvet:ordered collects the full descendant set; out is sorted by ID before returning
 		for ch := range cur.children {
 			if _, ok := seen[ch]; !ok {
 				seen[ch] = struct{}{}
@@ -499,7 +502,9 @@ func (p *Poset) Walk(fn func(*Node)) {
 		if cur != p.root {
 			fn(cur)
 		}
-		for ch := range cur.children {
+		// Enqueue in sorted order: the callback observes the visit order,
+		// so it must not depend on map iteration.
+		for _, ch := range cur.Children() {
 			if _, ok := seen[ch]; !ok {
 				seen[ch] = struct{}{}
 				queue = append(queue, ch)
@@ -517,7 +522,9 @@ func (p *Poset) CheckInvariants() error {
 	if len(reach) != len(p.nodes) {
 		return fmt.Errorf("poset: %d nodes reachable, %d registered", len(reach), len(p.nodes))
 	}
+	//greenvet:ordered error path only: any violation fails the check, and tests treat every violation equally
 	for _, n := range p.nodes {
+		//greenvet:ordered error path only: any violation fails the check, and tests treat every violation equally
 		for ch := range n.children {
 			r := bitvector.Relate(n.Profile, ch.Profile)
 			if r != bitvector.RelSuperset {
@@ -538,6 +545,7 @@ func (p *Poset) CheckInvariants() error {
 	var visit func(n *Node) error
 	visit = func(n *Node) error {
 		color[n] = gray
+		//greenvet:ordered cycle detection: whether a cycle exists is order-independent; only the reported witness varies, and only on already-failing graphs
 		for ch := range n.children {
 			switch color[ch] {
 			case gray:

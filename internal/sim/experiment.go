@@ -171,6 +171,9 @@ func runReconfigured(sc *workload.Scenario, c ExperimentConfig) (*Result, error)
 	if coreCfg.Seed == 0 {
 		coreCfg.Seed = c.Seed
 	}
+	if coreCfg.Clock == nil {
+		coreCfg.Clock = time.Now
+	}
 	plan, err := core.ComputePlan(infos, coreCfg)
 	if err != nil {
 		return nil, err
