@@ -47,15 +47,15 @@ func run() error {
 	fmt.Printf("%-12s %8s %14s %8s %10s %12s\n",
 		"approach", "brokers", "total msgs/s", "hops", "delay ms", "utilization")
 	for _, ap := range approaches {
-		res, err := sim.Run(sim.ExperimentConfig{
+		res, runErr := sim.Run(sim.ExperimentConfig{
 			Scenario:      sc,
 			Approach:      ap,
 			ProfileRounds: 150,
 			MeasureRounds: 75,
 			Seed:          1,
 		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", ap, err)
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", ap, runErr)
 		}
 		if ap == sim.ApproachManual {
 			manual = res

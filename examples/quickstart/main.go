@@ -52,7 +52,7 @@ func run() error {
 		return err
 	}
 	defer func() { _ = subAll.Close() }()
-	if _, err := subAll.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO']"); err != nil {
+	if _, err = subAll.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO']"); err != nil {
 		return err
 	}
 	subDips, err := greenps.Connect("sub-dips", brokers[2].Addr())
@@ -60,7 +60,7 @@ func run() error {
 		return err
 	}
 	defer func() { _ = subDips.Close() }()
-	if _, err := subDips.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,19]"); err != nil {
+	if _, err = subDips.Subscribe("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,19]"); err != nil {
 		return err
 	}
 	allCh := subAll.Deliveries()
@@ -80,7 +80,7 @@ func run() error {
 	// routing state a moment to settle before publishing.
 	time.Sleep(500 * time.Millisecond)
 	for i, low := range []float64{18.4, 19.2, 18.9} {
-		if err := pub.Publish(advID, map[string]any{
+		if err = pub.Publish(advID, map[string]any{
 			"class":  "STOCK",
 			"symbol": "YHOO",
 			"open":   low + 0.3,

@@ -132,7 +132,7 @@ func (n *Node) ConnectNeighbor(addr string) error {
 	if err != nil {
 		return err
 	}
-	if err := conn.SendHello(transport.Hello{Kind: transport.PeerBroker, ID: n.ID(), URL: n.Addr()}); err != nil {
+	if err = conn.SendHello(transport.Hello{Kind: transport.PeerBroker, ID: n.ID(), URL: n.Addr()}); err != nil {
 		_ = conn.Close()
 		return err
 	}

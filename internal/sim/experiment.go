@@ -156,7 +156,7 @@ func runReconfigured(sc *workload.Scenario, c ExperimentConfig) (*Result, error)
 		return nil, err
 	}
 	// Phase 1a: profiling traffic fills the bit vectors.
-	if err := publishRounds(net, sc, 0, c.ProfileRounds, nil); err != nil {
+	if err = publishRounds(net, sc, 0, c.ProfileRounds, nil); err != nil {
 		return nil, err
 	}
 	// Phase 1b: CROC connects to any broker and floods a BIR.
@@ -210,7 +210,7 @@ func Prepare(sc *workload.Scenario, profileRounds, capacity int) (*Network, []me
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := publishRounds(net, sc, 0, profileRounds, nil); err != nil {
+	if err = publishRounds(net, sc, 0, profileRounds, nil); err != nil {
 		return nil, nil, err
 	}
 	infos, err := GatherInfos(net, sc.Brokers[0].ID)
