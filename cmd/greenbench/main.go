@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +53,7 @@ func run() error {
 		par      = flag.Int("parallelism", 0, "allocation worker count (0 = all cores); results are identical at any value")
 		verbose  = flag.Bool("v", true, "print progress to stderr")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut  = flag.String("json", "", "also write the emitted tables as JSON to this file (baseline recording)")
 	)
 	flag.Parse()
 
@@ -84,8 +86,10 @@ func run() error {
 	}
 
 	rendered := 0
+	var collected []*metrics.Series
 	emit := func(s *metrics.Series) error {
 		rendered++
+		collected = append(collected, s)
 		return s.Render(os.Stdout)
 	}
 
@@ -168,6 +172,15 @@ func run() error {
 
 	if rendered == 0 {
 		return fmt.Errorf("no experiments selected (use -list)")
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal series: %w", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonOut, err)
+		}
 	}
 	return nil
 }

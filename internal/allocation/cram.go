@@ -42,6 +42,13 @@ type CRAM struct {
 	ExhaustiveSearch bool
 	// DisableOneToMany turns off optimization 3.
 	DisableOneToMany bool
+	// DisableBoundPruning turns off the summary-based closeness upper
+	// bounds in both partner searches (poset BFS and exhaustive scan),
+	// forcing every considered evaluation to run the exact metric. The
+	// bounds are admissible, so the returned plan and every other stat are
+	// bit-for-bit identical either way (the equivalence tests assert this);
+	// the knob exists for those tests and for measuring the pruning win.
+	DisableBoundPruning bool
 	// MaxIterations caps the clustering loop as a safety net; 0 means
 	// 64×(initial group count), far beyond any convergent run.
 	MaxIterations int
@@ -72,8 +79,16 @@ type CRAMStats struct {
 	// ClosenessComputations counts closeness evaluations across all
 	// partner searches. This is the counter behind the paper's E8
 	// closeness-computation column; set-cover bookkeeping is tallied
-	// separately in CoverComputations.
+	// separately in CoverComputations. Evaluations answered by a summary
+	// upper bound rather than an exact metric computation are included —
+	// the counter tracks how many pairings the searches considered, so the
+	// E8 tables read the same whether bound pruning is on or off; the
+	// exact-evaluation count is ClosenessComputations − BoundPruned.
 	ClosenessComputations int
+	// BoundPruned counts the considered closeness evaluations that were
+	// answered by a ClosenessUpperBound instead of an exact metric call
+	// (always 0 with DisableBoundPruning set).
+	BoundPruned int
 	// CoverComputations counts the DiffCount evaluations of the greedy
 	// set cover in one-to-many clustering (Optimization 3). Previously
 	// folded into ClosenessComputations, which inflated the E8 closeness
@@ -103,6 +118,11 @@ func (c *CRAM) Stats() CRAMStats { return c.stats }
 type gif struct {
 	id      string
 	profile *bitvector.Profile
+	// summary condenses profile for the bound-based search pruning. A GIF's
+	// profile never changes after creation (merged units land in the GIF
+	// whose fingerprint matches, or found a new one), so the summary is
+	// taken once and never invalidated.
+	summary *bitvector.Summary
 	// units are the group's clusters, kept sorted ascending by output
 	// bandwidth so the lightest unit is units[0].
 	units []*Unit
@@ -411,7 +431,8 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 		g, ok := r.byKey[key]
 		if !ok {
 			r.nextGIF++
-			g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: u.Profile.Clone()}
+			prof := u.Profile.Clone()
+			g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: prof, summary: bitvector.Summarize(prof)}
 			r.byKey[key] = g
 			r.gifs[g.id] = g
 		}
@@ -455,13 +476,15 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	seedIDs := r.sortedGIFIDs()
 	seedCands := make([]*candidate, len(seedIDs))
 	seedComps := make([]int, len(seedIDs))
+	seedPruned := make([]int, len(seedIDs))
 	parwork.Run(len(seedIDs), r.par, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			seedCands[i], seedComps[i] = r.bestPartner(r.gifs[seedIDs[i]], useExhaustive, 1)
+			seedCands[i], seedComps[i], seedPruned[i] = r.bestPartner(r.gifs[seedIDs[i]], useExhaustive, 1)
 		}
 	})
 	for i, cd := range seedCands {
 		c.stats.ClosenessComputations += seedComps[i]
+		c.stats.BoundPruned += seedPruned[i]
 		if cd != nil {
 			heap.Push(&r.heap, *cd)
 		}
@@ -522,25 +545,25 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 // pushBest computes the GIF's best admissible partner and pushes it onto
 // the heap. GIFs with no positive-closeness partner push nothing.
 func (r *cramRun) pushBest(g *gif, exhaustive bool) {
-	best, comps := r.bestPartner(g, exhaustive, r.par)
+	best, comps, pruned := r.bestPartner(g, exhaustive, r.par)
 	r.c.stats.ClosenessComputations += comps
+	r.c.stats.BoundPruned += pruned
 	if best != nil {
 		heap.Push(&r.heap, *best)
 	}
 }
 
-// bestPartner computes the GIF's best admissible partner and the number of
-// closeness evaluations spent finding it, without touching run state — so
-// the seed phase can fan searches for distinct GIFs across workers. par
-// additionally parallelizes the search for this one GIF (the exhaustive
-// scan or the poset BFS); every reduction runs in the canonical GIF-ID
-// order, so the returned candidate and evaluation count are identical at
-// any par.
-func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (*candidate, int) {
-	comps := 0
+// bestPartner computes the GIF's best admissible partner, the number of
+// closeness evaluations the search considered, and how many of those were
+// answered by a summary bound instead of an exact metric call — all
+// without touching run state, so the seed phase can fan searches for
+// distinct GIFs across workers. par additionally parallelizes the search
+// for this one GIF (the exhaustive scan or the poset BFS); every reduction
+// runs in the canonical GIF-ID order, so the returned candidate and both
+// counts are identical at any par.
+func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (best *candidate, comps, pruned int) {
 	// Self-pair: the equal relationship pairs a GIF with itself whenever it
 	// holds more than one unit (Optimization 1's equal case).
-	var best *candidate
 	if len(g.units) >= 2 && !r.blacklisted(g.id, g.id) {
 		c := bitvector.Closeness(r.c.Metric, g.profile, g.profile)
 		comps++
@@ -558,9 +581,28 @@ func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (*candidate, int
 		for i, id := range ids {
 			skip[i] = id == g.id || r.blacklisted(g.id, id)
 		}
+		// Anchored bound pruning (DESIGN.md §9): mark pairings whose
+		// summary bound proves they cannot become the returned candidate,
+		// so the parallel stage below skips their exact evaluations. The
+		// pruned set depends only on the bounds, the incumbent threshold,
+		// and one anchor evaluation chosen by ID order — never on a
+		// running best — so it is identical at every worker count.
+		var prunedOut []bool
+		anchor := -1
+		if !r.c.DisableBoundPruning {
+			t0 := 0.0
+			if best != nil {
+				t0 = best.closeness
+			}
+			var anchorC float64
+			prunedOut, anchor, anchorC = r.boundPruneScan(g, ids, skip, t0, par)
+			if anchor >= 0 {
+				cs[anchor] = anchorC
+			}
+		}
 		parwork.Run(len(ids), par, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				if skip[i] {
+				if skip[i] || i == anchor || (prunedOut != nil && prunedOut[i]) {
 					continue
 				}
 				cs[i] = bitvector.Closeness(r.c.Metric, g.profile, r.gifs[ids[i]].profile)
@@ -571,20 +613,72 @@ func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (*candidate, int
 				continue
 			}
 			comps++
+			if prunedOut != nil && prunedOut[i] {
+				pruned++
+				continue
+			}
 			if c := cs[i]; c > 0 && (best == nil || c > best.closeness) {
 				best = &candidate{gifID: g.id, partnerID: id, closeness: c}
 			}
 		}
 	} else {
-		res := r.ps.SearchClosestParallel(g.profile, r.c.Metric, func(n *poset.Node) bool {
+		res := r.ps.SearchClosestParallelOpts(g.profile, r.c.Metric, func(n *poset.Node) bool {
 			return n.ID == g.id || r.blacklisted(g.id, n.ID)
-		}, par)
+		}, par, !r.c.DisableBoundPruning)
 		comps += res.Computations
+		pruned += res.BoundPruned
 		if res.Best != nil && res.Closeness > 0 && (best == nil || res.Closeness > best.closeness) {
 			best = &candidate{gifID: g.id, partnerID: res.Best.ID, closeness: res.Closeness}
 		}
 	}
-	return best, comps
+	return best, comps, pruned
+}
+
+// boundPruneScan is the bound stage of the exhaustive partner scan. It
+// computes the summary-based closeness upper bound of every admissible
+// pairing, picks the anchor — the first ID with the highest bound above
+// the incumbent threshold t0 — evaluates the anchor's exact closeness, and
+// marks as pruned every other pairing whose bound proves it cannot change
+// the scan's outcome:
+//
+//   - ub <= t0: the reduction only replaces the incumbent on a strictly
+//     greater closeness, and the true value is at most ub.
+//   - ub < anchorC (strict): the true value is strictly below the anchor's
+//     exact closeness, so it is not an achiever of the scan's maximum; the
+//     strictness preserves the first-ID tie-break among achievers.
+//
+// Every achiever of the true maximum survives, so reducing the survivors
+// in ID order returns exactly the candidate the unpruned scan would
+// (derivation in DESIGN.md §9).
+func (r *cramRun) boundPruneScan(g *gif, ids []string, skip []bool, t0 float64, par int) (pruned []bool, anchor int, anchorC float64) {
+	ubs := make([]float64, len(ids))
+	parwork.Run(len(ids), par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !skip[i] {
+				ubs[i] = bitvector.ClosenessUpperBound(r.c.Metric, g.summary, r.gifs[ids[i]].summary)
+			}
+		}
+	})
+	anchor = -1
+	for i := range ids {
+		if skip[i] || ubs[i] <= t0 {
+			continue
+		}
+		if anchor < 0 || ubs[i] > ubs[anchor] {
+			anchor = i
+		}
+	}
+	if anchor >= 0 {
+		anchorC = bitvector.Closeness(r.c.Metric, g.profile, r.gifs[ids[anchor]].profile)
+	}
+	pruned = make([]bool, len(ids))
+	for i := range ids {
+		if skip[i] || i == anchor {
+			continue
+		}
+		pruned[i] = ubs[i] <= t0 || ubs[i] < anchorC
+	}
+	return pruned, anchor, anchorC
 }
 
 // clusterPair attempts the clustering dictated by the relationship between
@@ -830,7 +924,8 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 	g, ok := r.byKey[key]
 	if !ok {
 		r.nextGIF++
-		g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: u.Profile.Clone()}
+		prof := u.Profile.Clone()
+		g = &gif{id: fmt.Sprintf("g%d", r.nextGIF), profile: prof, summary: bitvector.Summarize(prof)}
 		r.byKey[key] = g
 		r.gifs[g.id] = g
 		r.gifIDsDirty = true

@@ -38,6 +38,7 @@ var counters = map[string]bool{
 	"ClosenessComputations": true,
 	"CoverComputations":     true,
 	"PackAttempts":          true,
+	"BoundPruned":           true,
 }
 
 func run(pass *framework.Pass) error {

@@ -40,7 +40,12 @@ type Vector struct {
 	lastID int
 	// capacity is the maximum window width in bits.
 	capacity int
-	words    []uint64
+	// count caches the popcount of words. It is maintained eagerly by
+	// every mutator (Set, Observe, Or, shiftDown, snapshot restore) —
+	// never lazily on read — so the concurrent read-only contract above
+	// holds: Count and Fraction are O(1) loads with no hidden writes.
+	count int
+	words []uint64
 }
 
 // New returns an empty vector with the given capacity in bits. Capacity
@@ -79,7 +84,7 @@ func (v *Vector) Window() int {
 
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
-	cp := &Vector{firstID: v.firstID, lastID: v.lastID, capacity: v.capacity, words: make([]uint64, len(v.words))}
+	cp := &Vector{firstID: v.firstID, lastID: v.lastID, capacity: v.capacity, count: v.count, words: make([]uint64, len(v.words))}
 	copy(cp.words, v.words)
 	return cp
 }
@@ -144,14 +149,9 @@ func (v *Vector) Get(id int) bool {
 	return v.words[idx/wordBits]&(1<<(uint(idx)%wordBits)) != 0
 }
 
-// Count returns the number of set bits.
-func (v *Vector) Count() int {
-	n := 0
-	for _, w := range v.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+// Count returns the number of set bits. O(1): the popcount is maintained
+// incrementally by the mutators.
+func (v *Vector) Count() int { return v.count }
 
 // Fraction returns set bits divided by the valid window, the per-publisher
 // traffic fraction this profile sinks. An empty vector yields 0.
@@ -163,9 +163,26 @@ func (v *Vector) Fraction() float64 {
 	return float64(v.Count()) / float64(w)
 }
 
-// setBit sets the bit at a window-relative index.
+// setBit sets the bit at a window-relative index, keeping the cached
+// popcount exact.
 func (v *Vector) setBit(idx int) {
-	v.words[idx/wordBits] |= 1 << (uint(idx) % wordBits)
+	w := &v.words[idx/wordBits]
+	mask := uint64(1) << (uint(idx) % wordBits)
+	if *w&mask == 0 {
+		*w |= mask
+		v.count++
+	}
+}
+
+// recount recomputes the cached popcount from the words. Mutators that
+// rewrite whole words (shiftDown, Or) call it once at the end; it is never
+// called from a read-only operation.
+func (v *Vector) recount() {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	v.count = n
 }
 
 // shiftDown discards the n oldest bits, moving every remaining bit toward
@@ -178,6 +195,7 @@ func (v *Vector) shiftDown(n int) {
 		for i := range v.words {
 			v.words[i] = 0
 		}
+		v.count = 0
 		return
 	}
 	wordShift := n / wordBits
@@ -195,6 +213,7 @@ func (v *Vector) shiftDown(n int) {
 	}
 	// Clear any bits beyond capacity that the shift may have exposed.
 	v.maskTail()
+	v.recount()
 }
 
 // maskTail zeroes bits at positions >= capacity.
@@ -207,7 +226,11 @@ func (v *Vector) maskTail() {
 
 // Or merges another vector of the same publisher into v (used when
 // clustering subscriptions, Figure 1). The windows are aligned on message
-// IDs; v's window is extended to cover o's.
+// IDs; v's window is extended to cover o's. The fold is word-wise: when the
+// two windows share a word-aligned offset — the common case after Sync,
+// where every vector is anchored on the publisher's LastSeq — each step is
+// a single OR of whole words; odd offsets fall back to the realigning
+// extract path.
 func (v *Vector) Or(o *Vector) {
 	if o.Window() == 0 {
 		return
@@ -225,21 +248,58 @@ func (v *Vector) Or(o *Vector) {
 			}
 		}
 		v.maskTail()
+		v.recount()
 		return
 	}
 	if o.lastID > v.lastID {
 		v.Observe(o.lastID)
 	}
-	// Fold o's set bits into v, dropping bits older than v's window.
-	for idx := 0; idx < o.Window() && idx < o.capacity; idx++ {
-		if o.words[idx/wordBits]&(1<<(uint(idx)%wordBits)) == 0 {
-			continue
+	// Fold o's set bits into v, dropping bits older than v's window. After
+	// the Observe above v's window covers o's tail, so the foldable range is
+	// the window overlap.
+	lo, hi, ok := overlap(v, o)
+	if !ok {
+		return
+	}
+	vi := lo - v.firstID
+	oi := lo - o.firstID
+	n := hi - lo + 1
+	if (vi-oi)%wordBits == 0 {
+		// Aligned: both sides share the in-word offset.
+		i, j := vi/wordBits, oi/wordBits
+		off := vi % wordBits
+		if off != 0 {
+			take := wordBits - off
+			if take > n {
+				take = n
+			}
+			v.words[i] |= o.words[j] & (maskLow(take) << uint(off))
+			n -= take
+			i++
+			j++
 		}
-		id := o.firstID + idx
-		if id >= v.firstID && id <= v.lastID {
-			v.setBit(id - v.firstID)
+		for ; n >= wordBits; n -= wordBits {
+			v.words[i] |= o.words[j]
+			i++
+			j++
+		}
+		if n > 0 {
+			v.words[i] |= o.words[j] & maskLow(n)
+		}
+	} else {
+		for n > 0 {
+			off := vi % wordBits
+			take := wordBits - off
+			if take > n {
+				take = n
+			}
+			v.words[vi/wordBits] |= extractBits(o.words, oi, take) << uint(off)
+			vi += take
+			oi += take
+			n -= take
 		}
 	}
+	v.recount()
 }
 
 // overlap computes the aligned common ID range of two vectors; ok=false
@@ -258,13 +318,30 @@ func overlap(a, b *Vector) (lo, hi int, ok bool) {
 
 // AndCount returns |a AND b| over the aligned overlap of the two windows.
 func AndCount(a, b *Vector) int {
-	return alignedCount(a, b, func(x, y uint64) uint64 { return x & y })
+	lo, hi, ok := overlap(a, b)
+	if !ok {
+		return 0
+	}
+	ai, bi := lo-a.firstID, lo-b.firstID
+	if (ai-bi)%wordBits == 0 {
+		return andCountWords(a.words, b.words, ai, bi, hi-lo+1)
+	}
+	return genericOpCount(a, b, lo, hi, func(x, y uint64) uint64 { return x & y })
 }
 
 // XorCount returns |a XOR b| counting, per the Gryphon-derived metric,
 // every set bit outside the common window as a difference as well.
 func XorCount(a, b *Vector) int {
-	n := alignedCount(a, b, func(x, y uint64) uint64 { return x ^ y })
+	lo, hi, ok := overlap(a, b)
+	var n int
+	if ok {
+		ai, bi := lo-a.firstID, lo-b.firstID
+		if (ai-bi)%wordBits == 0 {
+			n = xorCountWords(a.words, b.words, ai, bi, hi-lo+1)
+		} else {
+			n = genericOpCount(a, b, lo, hi, func(x, y uint64) uint64 { return x ^ y })
+		}
+	}
 	n += countOutside(a, b)
 	n += countOutside(b, a)
 	return n
@@ -272,14 +349,32 @@ func XorCount(a, b *Vector) int {
 
 // AndNotCount returns |a AND NOT b| over a's window (bits of a not in b).
 func AndNotCount(a, b *Vector) int {
-	n := alignedCount(a, b, func(x, y uint64) uint64 { return x &^ y })
+	lo, hi, ok := overlap(a, b)
+	var n int
+	if ok {
+		ai, bi := lo-a.firstID, lo-b.firstID
+		if (ai-bi)%wordBits == 0 {
+			n = andNotCountWords(a.words, b.words, ai, bi, hi-lo+1)
+		} else {
+			n = genericOpCount(a, b, lo, hi, func(x, y uint64) uint64 { return x &^ y })
+		}
+	}
 	n += countOutside(a, b)
 	return n
 }
 
 // OrCount returns |a OR b| over the union of the windows.
 func OrCount(a, b *Vector) int {
-	n := alignedCount(a, b, func(x, y uint64) uint64 { return x | y })
+	lo, hi, ok := overlap(a, b)
+	var n int
+	if ok {
+		ai, bi := lo-a.firstID, lo-b.firstID
+		if (ai-bi)%wordBits == 0 {
+			n = orCountWords(a.words, b.words, ai, bi, hi-lo+1)
+		} else {
+			n = genericOpCount(a, b, lo, hi, func(x, y uint64) uint64 { return x | y })
+		}
+	}
 	n += countOutside(a, b)
 	n += countOutside(b, a)
 	return n
@@ -313,28 +408,150 @@ func (v *Vector) countRange(from, to int) int {
 	if from > to {
 		return 0
 	}
-	n := 0
-	idx := from - v.firstID
-	end := to - v.firstID
-	for idx <= end {
-		step := wordBits - idx%wordBits
-		if rem := end - idx + 1; rem < step {
-			step = rem
-		}
-		w := extractBits(v.words, idx, step)
-		n += bits.OnesCount64(w)
-		idx += step
-	}
-	return n
+	return countBitRange(v.words, from-v.firstID, to-from+1)
 }
 
-// alignedCount applies a word-wise boolean op over the aligned overlap of
-// the two windows and counts the resulting set bits.
-func alignedCount(a, b *Vector, op func(x, y uint64) uint64) int {
-	lo, hi, ok := overlap(a, b)
-	if !ok {
-		return 0
+// countBitRange counts the set bits in the n-bit range starting at bit
+// offset off, via a head/body/tail split over whole words.
+func countBitRange(words []uint64, off, n int) int {
+	i := off / wordBits
+	cnt := 0
+	if rem := off % wordBits; rem != 0 {
+		take := wordBits - rem
+		if take > n {
+			take = n
+		}
+		cnt += bits.OnesCount64(words[i] >> uint(rem) & maskLow(take))
+		n -= take
+		i++
 	}
+	full := n / wordBits
+	for _, w := range words[i : i+full] {
+		cnt += bits.OnesCount64(w)
+	}
+	if n %= wordBits; n > 0 {
+		cnt += bits.OnesCount64(words[i+full] & maskLow(n))
+	}
+	return cnt
+}
+
+// The four count kernels below walk an n-bit overlap whose two sides share
+// the same in-word offset (ai ≡ bi mod 64): a head step up to the first
+// word boundary, a straight range over whole words, and a masked tail.
+// They are structurally identical and differ only in the boolean op — kept
+// as four monomorphic functions precisely so the op is inlined rather than
+// an indirect call per word (the cost the closure-based generic path pays).
+
+// andCountWords counts bits of aw&bw over the aligned n-bit overlap
+// starting at bit offsets ai and bi.
+func andCountWords(aw, bw []uint64, ai, bi, n int) int {
+	i, j := ai/wordBits, bi/wordBits
+	cnt := 0
+	if off := ai % wordBits; off != 0 {
+		take := wordBits - off
+		if take > n {
+			take = n
+		}
+		cnt += bits.OnesCount64((aw[i] & bw[j]) >> uint(off) & maskLow(take))
+		n -= take
+		i++
+		j++
+	}
+	full := n / wordBits
+	as, bs := aw[i:i+full], bw[j:j+full]
+	for k, x := range as {
+		cnt += bits.OnesCount64(x & bs[k])
+	}
+	if n %= wordBits; n > 0 {
+		cnt += bits.OnesCount64(aw[i+full] & bw[j+full] & maskLow(n))
+	}
+	return cnt
+}
+
+// orCountWords counts bits of aw|bw over the aligned overlap; see
+// andCountWords.
+func orCountWords(aw, bw []uint64, ai, bi, n int) int {
+	i, j := ai/wordBits, bi/wordBits
+	cnt := 0
+	if off := ai % wordBits; off != 0 {
+		take := wordBits - off
+		if take > n {
+			take = n
+		}
+		cnt += bits.OnesCount64((aw[i] | bw[j]) >> uint(off) & maskLow(take))
+		n -= take
+		i++
+		j++
+	}
+	full := n / wordBits
+	as, bs := aw[i:i+full], bw[j:j+full]
+	for k, x := range as {
+		cnt += bits.OnesCount64(x | bs[k])
+	}
+	if n %= wordBits; n > 0 {
+		cnt += bits.OnesCount64((aw[i+full] | bw[j+full]) & maskLow(n))
+	}
+	return cnt
+}
+
+// xorCountWords counts bits of aw^bw over the aligned overlap; see
+// andCountWords.
+func xorCountWords(aw, bw []uint64, ai, bi, n int) int {
+	i, j := ai/wordBits, bi/wordBits
+	cnt := 0
+	if off := ai % wordBits; off != 0 {
+		take := wordBits - off
+		if take > n {
+			take = n
+		}
+		cnt += bits.OnesCount64((aw[i] ^ bw[j]) >> uint(off) & maskLow(take))
+		n -= take
+		i++
+		j++
+	}
+	full := n / wordBits
+	as, bs := aw[i:i+full], bw[j:j+full]
+	for k, x := range as {
+		cnt += bits.OnesCount64(x ^ bs[k])
+	}
+	if n %= wordBits; n > 0 {
+		cnt += bits.OnesCount64((aw[i+full] ^ bw[j+full]) & maskLow(n))
+	}
+	return cnt
+}
+
+// andNotCountWords counts bits of aw&^bw over the aligned overlap; see
+// andCountWords.
+func andNotCountWords(aw, bw []uint64, ai, bi, n int) int {
+	i, j := ai/wordBits, bi/wordBits
+	cnt := 0
+	if off := ai % wordBits; off != 0 {
+		take := wordBits - off
+		if take > n {
+			take = n
+		}
+		cnt += bits.OnesCount64((aw[i] &^ bw[j]) >> uint(off) & maskLow(take))
+		n -= take
+		i++
+		j++
+	}
+	full := n / wordBits
+	as, bs := aw[i:i+full], bw[j:j+full]
+	for k, x := range as {
+		cnt += bits.OnesCount64(x &^ bs[k])
+	}
+	if n %= wordBits; n > 0 {
+		cnt += bits.OnesCount64(aw[i+full] &^ bw[j+full] & maskLow(n))
+	}
+	return cnt
+}
+
+// genericOpCount applies a boolean op over the [lo,hi] overlap of the two
+// windows and counts the resulting set bits, realigning b to a's word grid
+// with extractBits at every step. It is the fallback for overlaps whose
+// sides differ in in-word offset — and the pre-kernel baseline the
+// micro-benchmarks compare the aligned walkers against.
+func genericOpCount(a, b *Vector, lo, hi int, op func(x, y uint64) uint64) int {
 	n := 0
 	// Walk the overlap word-by-word in a's coordinates, realigning b.
 	for id := lo; id <= hi; {

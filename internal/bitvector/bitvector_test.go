@@ -513,6 +513,7 @@ func BenchmarkVectorSet(b *testing.B) {
 func BenchmarkAndCountAligned(b *testing.B) {
 	x := New(DefaultCapacity)
 	y := New(DefaultCapacity)
+	y.Observe(0) // anchor y's window at 0 so the windows are word-aligned
 	for i := 0; i < DefaultCapacity; i += 2 {
 		x.Set(i)
 		y.Set(i + 1)

@@ -209,17 +209,29 @@ func Merged(capacity int, profiles ...*Profile) *Profile {
 	return out
 }
 
-// Count returns the total number of set bits across all publishers.
+// Count returns the total number of set bits across all publishers. Each
+// per-vector popcount is an O(1) cached load, so the sum is O(publishers)
+// regardless of capacity. The per-vector caches — not a profile-level total
+// — are authoritative because callers legitimately mutate individual
+// vectors in place via p.Vector(adv).Observe(...)/Set(...).
 func (p *Profile) Count() int {
 	n := 0
 	for _, k := range p.keys {
-		n += p.vectors[k].Count()
+		n += p.vectors[k].count
 	}
 	return n
 }
 
-// Empty reports whether the profile sank no publications at all.
-func (p *Profile) Empty() bool { return p.Count() == 0 }
+// Empty reports whether the profile sank no publications at all,
+// early-exiting on the first publisher with any set bit.
+func (p *Profile) Empty() bool {
+	for _, k := range p.keys {
+		if p.vectors[k].count != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // IntersectCount returns |a ∩ b| summed across publishers.
 func IntersectCount(a, b *Profile) int {

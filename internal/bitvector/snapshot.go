@@ -53,6 +53,7 @@ func FromSnapshot(s VectorSnapshot) (*Vector, error) {
 		v.words[i] = binary.LittleEndian.Uint64(raw[8*i:])
 	}
 	v.maskTail()
+	v.recount() // restore the cached popcount invariant
 	return v, nil
 }
 

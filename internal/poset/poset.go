@@ -36,6 +36,11 @@ type Node struct {
 	// Payload carries the caller's value (CRAM stores the *GIF here).
 	Payload any
 
+	// summary condenses Profile for the bound-based search pruning; taken
+	// once at Insert, so the profile must not be mutated while the node is
+	// in the poset (CRAM replaces nodes on merge rather than mutating).
+	summary *bitvector.Summary
+
 	parents  map[*Node]struct{}
 	children map[*Node]struct{}
 }
@@ -115,6 +120,7 @@ func (p *Poset) Insert(id string, prof *bitvector.Profile, payload any) (*Node, 
 		ID:       id,
 		Profile:  prof,
 		Payload:  payload,
+		summary:  bitvector.Summarize(prof),
 		parents:  make(map[*Node]struct{}),
 		children: make(map[*Node]struct{}),
 	}
@@ -341,15 +347,21 @@ type SearchResult struct {
 	Best *Node
 	// Closeness is Best's metric value.
 	Closeness float64
-	// Computations counts the closeness evaluations performed.
+	// Computations counts the closeness evaluations the search considered.
+	// Evaluations answered by a summary bound instead of an exact metric
+	// computation are included, so the count is stable whether or not bound
+	// pruning is enabled; subtract BoundPruned for the exact-only count.
 	Computations int
+	// BoundPruned counts the considered evaluations that were answered by
+	// a ClosenessUpperBound instead of an exact Closeness call.
+	BoundPruned int
 }
 
 // SearchClosest finds the admissible node with the highest closeness to the
 // query profile using the paper's pruned BFS (both prunings enabled; see
 // SearchClosestOpts).
 func (p *Poset) SearchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool) SearchResult {
-	return p.searchClosest(query, metric, skip, true, 1)
+	return p.searchClosest(query, metric, skip, true, 1, true)
 }
 
 // SearchClosestParallel is SearchClosest with the closeness evaluations of
@@ -362,7 +374,17 @@ func (p *Poset) SearchClosest(query *bitvector.Profile, metric bitvector.Metric,
 // during the search; concurrent SearchClosestParallel calls over a frozen
 // poset are safe.
 func (p *Poset) SearchClosestParallel(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, workers int) SearchResult {
-	return p.searchClosest(query, metric, skip, true, workers)
+	return p.searchClosest(query, metric, skip, true, workers, true)
+}
+
+// SearchClosestParallelOpts is SearchClosestParallel with bound pruning
+// switchable: useBounds=false forces every considered evaluation to run the
+// exact metric. Best, Closeness, and Computations are identical either way
+// (bound skips are admissible; see searchClosest); only BoundPruned and
+// wall-clock differ. CRAM's DisableBoundPruning knob — and the equivalence
+// tests behind it — route here.
+func (p *Poset) SearchClosestParallelOpts(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, workers int, useBounds bool) SearchResult {
+	return p.searchClosest(query, metric, skip, true, workers, useBounds)
 }
 
 // SearchClosestOpts finds the admissible node with the highest closeness to
@@ -386,7 +408,7 @@ func (p *Poset) SearchClosestParallel(query *bitvector.Profile, metric bitvector
 //     reduction the paper reports. The pruned child itself is still
 //     considered as a candidate.
 func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool) SearchResult {
-	return p.searchClosest(query, metric, skip, pruneDecreasing, 1)
+	return p.searchClosest(query, metric, skip, pruneDecreasing, 1, true)
 }
 
 // searchClosest is the shared level-synchronous implementation. A serial
@@ -408,7 +430,22 @@ func (p *Poset) SearchClosestOpts(query *bitvector.Profile, metric bitvector.Met
 //
 // Chunk boundaries in step 2 carry no information, so Best, Closeness, and
 // Computations are identical at every worker count.
-func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool, workers int) SearchResult {
+//
+// With useBounds, step 2 first computes the summary-based
+// ClosenessUpperBound and answers the evaluation from it when the exact
+// value provably cannot matter — two cases, both no-ops on the result:
+//
+//   - ub == 0: the bound is admissible, so the closeness is exactly 0 and
+//     the zero-pruning path fires just as it would after an exact call.
+//   - ub strictly below BOTH the claim's parent closeness and the best
+//     closeness at level start: decrease pruning stops the descent, and the
+//     node cannot displace the incumbent (its closeness is strictly lower),
+//     so neither the frontier nor the candidate changes.
+//
+// Both tests read only level-start state (captured before the parallel
+// step), never the running best mutated in step 3, so the skip set — and
+// with it BoundPruned — is identical at every worker count.
+func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric, skip func(*Node) bool, pruneDecreasing bool, workers int, useBounds bool) SearchResult {
 	var res SearchResult
 	prunable := metric != bitvector.MetricXor
 
@@ -421,9 +458,18 @@ func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric,
 		parentCloseness float64
 		parentIsRoot    bool
 		closeness       float64
+		pruned          bool
 	}
 	seen := make(map[*Node]struct{})
-	var comps atomic.Int64
+	var comps, prunedEvals atomic.Int64
+
+	// Bound pruning needs the query's summary; XOR is excluded because its
+	// search never prunes (an XOR bound can't rule out descent, and every
+	// node stays a candidate).
+	var qsum *bitvector.Summary
+	if useBounds && prunable {
+		qsum = bitvector.Summarize(query)
+	}
 
 	// better applies the candidate with deterministic tie-breaking (lower
 	// ID wins on equal closeness), so results do not depend on map
@@ -457,14 +503,35 @@ func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric,
 				})
 			}
 		}
+		levelBest, haveBest := res.Closeness, res.Best != nil
 		parwork.Run(len(claims), workers, func(lo, hi int) {
+			skipped := 0
 			for i := lo; i < hi; i++ {
-				claims[i].closeness = bitvector.Closeness(metric, query, claims[i].node.Profile)
+				cl := &claims[i]
+				if qsum != nil {
+					ub := bitvector.ClosenessUpperBound(metric, qsum, cl.node.summary)
+					if ub == 0 ||
+						(pruneDecreasing && !cl.parentIsRoot && haveBest &&
+							ub < cl.parentCloseness && ub < levelBest) {
+						cl.pruned = true
+						skipped++
+						continue
+					}
+				}
+				cl.closeness = bitvector.Closeness(metric, query, cl.node.Profile)
 			}
 			comps.Add(int64(hi - lo))
+			prunedEvals.Add(int64(skipped))
 		})
 		frontier = frontier[:0]
 		for _, cl := range claims {
+			if cl.pruned {
+				// The bound proved this evaluation affects nothing: either
+				// closeness is exactly 0 (zero pruning) or it is strictly
+				// below both the parent's value (decrease pruning: no
+				// descent) and the incumbent best (no candidate update).
+				continue
+			}
 			c := cl.closeness
 			if prunable {
 				if c == 0 {
@@ -482,6 +549,7 @@ func (p *Poset) searchClosest(query *bitvector.Profile, metric bitvector.Metric,
 		rootLevel = false
 	}
 	res.Computations = int(comps.Load())
+	res.BoundPruned = int(prunedEvals.Load())
 	if res.Best == nil {
 		res.Closeness = 0
 	}
