@@ -9,6 +9,10 @@
 //	croc -broker 127.0.0.1:7001 -algorithm CRAM-IOS
 //	croc -broker 127.0.0.1:7001 -algorithm BINPACKING -json > plan.json
 //	croc -broker 127.0.0.1:7001 -gather-only          # dump broker infos
+//
+// Every reconfiguration prints a per-phase timeline (gather, allocate,
+// overlay build, GRAPE); with -json the timeline goes to stderr so
+// stdout stays machine-readable. -no-timeline suppresses it.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"github.com/greenps/greenps/internal/core"
 	"github.com/greenps/greenps/internal/croc"
 	"github.com/greenps/greenps/internal/grape"
+	"github.com/greenps/greenps/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func run() error {
 		asJSON     = flag.Bool("json", false, "emit the plan as JSON")
 		gatherOnly = flag.Bool("gather-only", false, "dump gathered broker information and exit")
 		seed       = flag.Int64("seed", 1, "seed for randomized algorithm steps")
+		noTimeline = flag.Bool("no-timeline", false, "suppress the per-phase reconfiguration timeline")
 	)
 	flag.Parse()
 	if *brokerFl == "" {
@@ -57,16 +63,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	plan, err := croc.Reconfigure(*brokerFl, core.Config{
+	var tl *telemetry.Timeline
+	if !*noTimeline {
+		tl = telemetry.NewTimeline("reconfiguration", time.Now)
+	}
+	plan, err := croc.ReconfigureTimed(*brokerFl, core.Config{
 		Algorithm: *algorithm,
 		GrapeMode: mode,
 		Seed:      *seed,
-	}, *timeout)
+	}, *timeout, tl)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
-		return croc.WriteJSON(os.Stdout, plan)
+		if err := croc.WriteJSON(os.Stdout, plan); err != nil {
+			return err
+		}
+		if tl != nil {
+			return tl.Render(os.Stderr)
+		}
+		return nil
 	}
-	return croc.Render(os.Stdout, plan)
+	if err := croc.Render(os.Stdout, plan); err != nil {
+		return err
+	}
+	if tl != nil {
+		return tl.Render(os.Stdout)
+	}
+	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"github.com/greenps/greenps/internal/core"
 	"github.com/greenps/greenps/internal/croc"
 	"github.com/greenps/greenps/internal/deploy"
+	"github.com/greenps/greenps/internal/telemetry"
 	"github.com/greenps/greenps/internal/topology"
 )
 
@@ -89,17 +90,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		plan, err := croc.Reconfigure(entry, core.Config{Algorithm: *recfg}, time.Minute)
+		tl := telemetry.NewTimeline("reconfiguration", time.Now)
+		plan, err := croc.ReconfigureTimed(entry, core.Config{Algorithm: *recfg}, time.Minute, tl)
 		if err != nil {
 			return fmt.Errorf("reconfigure: %w", err)
 		}
 		if err := croc.Render(os.Stdout, plan); err != nil {
 			return err
 		}
-		if err := d.Apply(plan); err != nil {
+		if err := d.ApplyTimed(plan, tl); err != nil {
 			return fmt.Errorf("apply: %w", err)
 		}
 		fmt.Printf("applied: %d broker(s) now running\n", len(d.RunningBrokers()))
+		if err := tl.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
 
 	<-sig

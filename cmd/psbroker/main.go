@@ -7,20 +7,29 @@
 //
 // The broker serves until interrupted. Neighbors are dialed once at
 // startup; additional neighbors may connect inbound at any time.
+//
+// With -metrics-addr, the broker serves Prometheus text exposition at
+// /metrics: per-broker message and byte rates, the matched-vs-forwarded
+// publication split, queue depth, limiter waits, and the transport's
+// frame/byte/latency metrics, every series labeled with the broker ID.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/greenps/greenps/internal/broker"
 	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +48,8 @@ func run() error {
 		neighbors = flag.String("neighbors", "", "comma-separated neighbor addresses to dial")
 		capacity  = flag.Int("profile-bits", 1280, "CBC bit-vector capacity")
 		quiet     = flag.Bool("q", false, "suppress runtime diagnostics")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = disabled)")
+		wtimeout  = flag.Duration("write-timeout", 0, "per-frame write deadline to peers (0 = none)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -52,6 +63,10 @@ func run() error {
 	if !*quiet {
 		logger = log.New(os.Stderr, "psbroker ", log.LstdFlags)
 	}
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.New(map[string]string{"broker": *id})
+	}
 	node, err := broker.StartNode(broker.NodeConfig{
 		ID:              *id,
 		ListenAddr:      *listen,
@@ -59,11 +74,30 @@ func run() error {
 		OutputBandwidth: *bw,
 		ProfileCapacity: *capacity,
 		Logger:          logger,
+		Telemetry:       reg,
+		WriteTimeout:    *wtimeout,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("broker %s listening on %s\n", node.ID(), node.Addr())
+	if reg != nil {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			node.Stop()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "psbroker: metrics server:", err)
+			}
+		}()
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("broker %s metrics on http://%s/metrics\n", node.ID(), ln.Addr())
+	}
 	for _, addr := range strings.Split(*neighbors, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {

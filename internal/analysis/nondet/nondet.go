@@ -10,12 +10,27 @@
 // construct reproducible generators, which is exactly how the FBF and
 // PAIRWISE options plumb their Seed. Test files are exempt by
 // construction (the loader analyzes GoFiles only). Sites that are provably
-// harmless — telemetry that never influences the plan — may carry a
+// harmless — log output that never influences the plan — may carry a
 // //greenvet:nondet-ok <justification> directive.
+//
+// Two telemetry rules guard the determinism boundary around
+// internal/telemetry (see scope.TelemetryPath):
+//
+//  1. Deterministic packages must not import the telemetry package at
+//     all. Instrumentation lives on the live path; the moment a plan
+//     computation can see a counter it can branch on one.
+//  2. The telemetry package itself must not read the wall clock
+//     (time.Now/Since/Until): clocks are injected by callers, so the
+//     whole subsystem runs on a virtual clock under test and the
+//     equivalence suite can hold plans byte-identical with telemetry
+//     enabled. The other nondet rules (global rand, core counts, racy
+//     selects) do not apply there — telemetry is concurrent by design
+//     and not plan-producing.
 package nondet
 
 import (
 	"go/ast"
+	"strconv"
 
 	"github.com/greenps/greenps/internal/analysis/framework"
 	"github.com/greenps/greenps/internal/analysis/scope"
@@ -46,22 +61,74 @@ var randAllowed = map[string]bool{
 	"NewZipf":   true, // operates on an explicit *rand.Rand
 }
 
+// clockFuncs are the wall-clock reads banned both in deterministic
+// packages and in the telemetry package (which takes injected clocks).
+var clockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
 func run(pass *framework.Pass) error {
-	if !scope.IsDeterministic(pass.Pkg.Path()) {
+	path := pass.Pkg.Path()
+	det := scope.IsDeterministic(path)
+	tele := scope.IsTelemetry(path)
+	if !det && !tele {
 		return nil
+	}
+	if det {
+		checkTelemetryImports(pass)
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.SelectorExpr:
-				checkRef(pass, x)
+				if det {
+					checkRef(pass, x)
+				} else {
+					checkClockRef(pass, x)
+				}
 			case *ast.SelectStmt:
-				checkSelect(pass, x)
+				if det {
+					checkSelect(pass, x)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkTelemetryImports flags any deterministic-core import of the
+// telemetry package: instrumentation must stay on the live side of the
+// boundary, observing plans but never participating in them.
+func checkTelemetryImports(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil || p != scope.TelemetryPath {
+				continue
+			}
+			if pass.Suppressed(im.Pos(), "nondet-ok") {
+				continue
+			}
+			pass.Reportf(im.Pos(), "deterministic package imports %s: telemetry observes the live path and must never feed plan computation", p)
+		}
+	}
+}
+
+// checkClockRef flags wall-clock references in the telemetry package,
+// whose rule is narrower than the deterministic core's: only injected
+// clocks are allowed, everything else (atomics, selects) is fine.
+func checkClockRef(pass *framework.Pass, sel *ast.SelectorExpr) {
+	fn := framework.FuncOf(pass.Info, sel)
+	if fn == nil || !clockFuncs[framework.FuncKey(fn)] {
+		return
+	}
+	if pass.Suppressed(sel.Pos(), "nondet-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "reference to %s in the telemetry package: clocks are injected by callers so telemetry stays testable on a virtual clock", framework.FuncKey(fn))
 }
 
 // checkRef flags any reference (call or function value) to a forbidden

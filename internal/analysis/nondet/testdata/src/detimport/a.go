@@ -1,0 +1,23 @@
+// Fixture for nondet's determinism-boundary rule, loaded as
+// "fixture/detimport" (a stand-in for a deterministic-core package): an
+// import of the telemetry package is flagged no matter how it is used —
+// once a plan computation can see a counter, it can branch on one.
+package detimport
+
+import (
+	"sort"
+
+	"github.com/greenps/greenps/internal/telemetry" // want "deterministic package imports github.com/greenps/greenps/internal/telemetry"
+)
+
+// registry is never consulted by planning code, but the import alone
+// crosses the boundary.
+var registry = telemetry.New(nil)
+
+// Plan is a stand-in deterministic computation.
+func Plan(xs []int) []int {
+	registry.Counter("plans_total", "").Inc()
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

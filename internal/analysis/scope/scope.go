@@ -21,6 +21,13 @@ const ParworkPath = Module + "/internal/parwork"
 // AllocationPath is the package owning the E7/E8 stat counters.
 const AllocationPath = Module + "/internal/allocation"
 
+// TelemetryPath is the live-path instrumentation package. It sits on
+// the far side of the determinism boundary: deterministic packages may
+// never import it (telemetry must not feed plan computation), and the
+// package itself may never read the wall clock directly (clocks are
+// injected, so telemetry runs on a virtual clock in tests).
+const TelemetryPath = Module + "/internal/telemetry"
+
 // DeterministicPackages are the plan-producing packages: given one broker
 // snapshot they must produce one canonical answer. maporder and nondet
 // enforce their invariants mechanically.
@@ -34,15 +41,23 @@ var DeterministicPackages = []string{
 // IsFixture reports whether the package is an analysistest fixture.
 func IsFixture(path string) bool { return strings.HasPrefix(path, "fixture/") }
 
+// IsTelemetry reports whether the package is the telemetry subsystem
+// (or the fixture standing in for it).
+func IsTelemetry(path string) bool {
+	return path == TelemetryPath || path == "fixture/telemetry"
+}
+
 // IsDeterministic reports whether the package belongs to the deterministic
-// core (or is a fixture standing in for one).
+// core (or is a fixture standing in for one). The telemetry fixture is
+// excluded: it stands in for the telemetry package, which carries its
+// own (narrower) rule set.
 func IsDeterministic(path string) bool {
 	for _, p := range DeterministicPackages {
 		if path == p {
 			return true
 		}
 	}
-	return IsFixture(path)
+	return IsFixture(path) && !IsTelemetry(path)
 }
 
 // IsStatOwner reports whether the package is allowed to mutate the CRAM

@@ -16,6 +16,16 @@
 //
 // Sites that are provably serial may carry //greenvet:statpath-ok with a
 // justification.
+//
+// The analyzer also guards the live-path telemetry boundary from the
+// stat side: any call into internal/telemetry — mutation or read — from
+// a deterministic-core package is flagged. CRAMStats counters are part
+// of the plan (they are compared in the E8 tables and must be
+// parallelism-invariant); telemetry instruments are runtime
+// observations that must never be driven by, or fed back into, plan
+// computation. nondet bans the import outright; statpath reports the
+// precise call sites, so a violation points at the code to move rather
+// than at an import line.
 package statpath
 
 import (
@@ -42,6 +52,7 @@ var counters = map[string]bool{
 }
 
 func run(pass *framework.Pass) error {
+	det := scope.IsDeterministic(pass.Pkg.Path())
 	for _, f := range pass.Files {
 		framework.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch st := n.(type) {
@@ -51,11 +62,55 @@ func run(pass *framework.Pass) error {
 				}
 			case *ast.IncDecStmt:
 				checkWrite(pass, st.X, stack)
+			case *ast.CallExpr:
+				if det {
+					checkTelemetryCall(pass, st)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkTelemetryCall flags any call that resolves into the telemetry
+// package — instrument mutators and reads alike — when made from a
+// deterministic-core package.
+func checkTelemetryCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var fn *types.Func
+	if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		fn, _ = selection.Obj().(*types.Func)
+	} else {
+		fn = framework.FuncOf(pass.Info, sel)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != scope.TelemetryPath {
+		return
+	}
+	if pass.Suppressed(sel.Pos(), "statpath-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "call to telemetry %s inside the deterministic core; telemetry observes the live path and must never touch plan computation", callName(fn))
+}
+
+// callName renders a telemetry callee compactly: "Counter.Inc" for
+// methods, "New" for package-level functions.
+func callName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	if named, isNamed := recv.(*types.Named); isNamed {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
 }
 
 // checkWrite flags a write whose target is a guarded CRAMStats counter

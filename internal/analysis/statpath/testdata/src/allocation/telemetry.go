@@ -1,0 +1,23 @@
+// Part of the "fixture/allocation" statpath fixture: the allocation
+// package sits in the deterministic core, so driving a live-path
+// telemetry instrument from it — write or read — is flagged at the call
+// site (nondet separately bans the import itself).
+package allocation
+
+import "github.com/greenps/greenps/internal/telemetry"
+
+var reg = telemetry.New(nil) // want "call to telemetry New inside the deterministic core"
+
+// instrumented tallies a CRAM stat (fine: plain method body in the stat
+// owner) but also drives telemetry instruments, which is rejected.
+func (r *run) instrumented(c *telemetry.Counter, h *telemetry.Histogram) {
+	r.stats.PackAttempts++
+	c.Inc()          // want "call to telemetry Counter.Inc inside the deterministic core"
+	h.Observe(0.001) // want "call to telemetry Histogram.Observe inside the deterministic core"
+}
+
+// feedback reads a counter into a plan decision — the exact loop the
+// boundary exists to prevent; reads are flagged the same as writes.
+func (r *run) feedback(c *telemetry.Counter) bool {
+	return c.Value() > 100 // want "call to telemetry Counter.Value inside the deterministic core"
+}

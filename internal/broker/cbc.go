@@ -189,6 +189,7 @@ func (c *Core) handleBIA(from Endpoint, bia *message.BIA, out []Outgoing) []Outg
 func (c *Core) finishBIR(requestID string, out []Outgoing) []Outgoing {
 	st := c.cbc.pending[requestID]
 	delete(c.cbc.pending, requestID)
+	c.inst.BIRRounds.Inc()
 	infos := append([]message.BrokerInfo{c.info()}, st.infos...)
 	return append(out, Outgoing{
 		To:  st.parent,

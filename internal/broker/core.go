@@ -72,6 +72,8 @@ type Config struct {
 	ProfileCapacity int
 	// Clock is required.
 	Clock Clock
+	// Instruments attaches telemetry (nil disables it).
+	Instruments *Instruments
 }
 
 // advEntry records a known advertisement and the endpoint it arrived from.
@@ -107,6 +109,8 @@ type Core struct {
 	clients      map[string]bool
 	cbc          *cbc
 	counters     Counters
+	// inst is never nil; the zero bundle no-ops.
+	inst *Instruments
 }
 
 // New constructs a Core.
@@ -117,6 +121,10 @@ func New(cfg Config) (*Core, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("broker: config requires a clock")
 	}
+	inst := cfg.Instruments
+	if inst == nil {
+		inst = noopInstruments
+	}
 	return &Core{
 		cfg:          cfg,
 		engine:       matching.NewEngine(),
@@ -126,6 +134,7 @@ func New(cfg Config) (*Core, error) {
 		neighbors:    make(map[string]bool),
 		clients:      make(map[string]bool),
 		cbc:          newCBC(cfg.ProfileCapacity, cfg.Clock),
+		inst:         inst,
 	}, nil
 }
 
@@ -182,6 +191,8 @@ func (c *Core) Handle(from Endpoint, env *message.Envelope, out []Outgoing) ([]O
 	}
 	c.counters.MsgsIn++
 	c.counters.BytesIn += env.EncodedSize()
+	c.inst.MsgsIn.Inc()
+	c.inst.BytesIn.Add(int64(env.EncodedSize()))
 	before := len(out)
 	var err error
 	switch env.Kind {
@@ -203,6 +214,8 @@ func (c *Core) Handle(from Endpoint, env *message.Envelope, out []Outgoing) ([]O
 	for _, o := range out[before:] {
 		c.counters.MsgsOut++
 		c.counters.BytesOut += o.Env.EncodedSize()
+		c.inst.MsgsOut.Inc()
+		c.inst.BytesOut.Add(int64(o.Env.EncodedSize()))
 	}
 	return out, err
 }
@@ -365,6 +378,13 @@ func (c *Core) handlePublication(from Endpoint, pub *message.Publication, out []
 			c.cbc.recordDelivery(sub.ID, pub)
 		}
 	})
+	if len(brokerTargets) > 0 || len(clientTargets) > 0 {
+		c.inst.PubsMatched.Inc()
+	} else {
+		c.inst.PubsUnmatched.Inc()
+	}
+	c.inst.PubsForwarded.Add(int64(len(brokerTargets)))
+	c.inst.PubsDelivered.Add(int64(len(clientTargets)))
 	// One copy per neighbor broker, hop count incremented.
 	ids := make([]string, 0, len(brokerTargets))
 	for id := range brokerTargets {

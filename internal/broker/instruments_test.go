@@ -1,0 +1,261 @@
+package broker_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greenps/greenps/internal/broker"
+	"github.com/greenps/greenps/internal/client"
+	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
+)
+
+// instrumentedCore builds a standalone Core with one local subscriber
+// (sub1 on YHOO) and one local publisher (pub1), the smallest routing
+// table that exercises the matched/unmatched split.
+func instrumentedCore(t testing.TB, inst *broker.Instruments) *broker.Core {
+	t.Helper()
+	c, err := broker.New(broker.Config{
+		ID:          "B0",
+		URL:         "inproc://B0",
+		Delay:       message.MatchingDelayFn{Base: 0.001},
+		Clock:       func() float64 { return 0 },
+		Instruments: inst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddClient("pub1")
+	c.AddClient("sub1")
+	pubEP := broker.Endpoint{Kind: broker.KindClient, ID: "pub1"}
+	subEP := broker.Endpoint{Kind: broker.KindClient, ID: "sub1"}
+	adv := message.NewAdvertisement("ADV1", "pub1", []message.Predicate{
+		message.Pred("symbol", message.OpEq, message.String("YHOO")),
+	})
+	if _, err := c.Handle(pubEP, &message.Envelope{Kind: message.KindAdvertisement, Adv: adv}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub := message.NewSubscription("s1", "sub1", []message.Predicate{
+		message.Pred("symbol", message.OpEq, message.String("YHOO")),
+	})
+	if _, err := c.Handle(subEP, &message.Envelope{Kind: message.KindSubscription, Sub: sub}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pubEnvelope(seq int, symbol string) *message.Envelope {
+	return &message.Envelope{Kind: message.KindPublication, Pub: message.NewPublication("ADV1", seq, map[string]message.Value{
+		"symbol": message.String(symbol),
+	})}
+}
+
+// counterValue fetches one counter reading from a registry snapshot.
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s not registered", name)
+	return 0
+}
+
+// TestCoreInstruments drives a Core synchronously and checks every
+// instrument the core owns: message/byte totals mirror Counters, and
+// publications split into matched (delivered) vs unmatched (transit).
+func TestCoreInstruments(t *testing.T) {
+	reg := telemetry.New(map[string]string{"broker": "B0"})
+	c := instrumentedCore(t, broker.NewInstruments(reg))
+	pubEP := broker.Endpoint{Kind: broker.KindClient, ID: "pub1"}
+
+	if _, err := c.Handle(pubEP, pubEnvelope(1, "YHOO"), nil); err != nil { // matched, delivered
+		t.Fatal(err)
+	}
+	if _, err := c.Handle(pubEP, pubEnvelope(2, "MSFT"), nil); err != nil { // no subscriber
+		t.Fatal(err)
+	}
+
+	want := map[string]int64{
+		"greenps_broker_pubs_matched_total":   1,
+		"greenps_broker_pubs_unmatched_total": 1,
+		"greenps_broker_pubs_delivered_total": 1,
+		"greenps_broker_pubs_forwarded_total": 0,
+		"greenps_broker_bir_rounds_total":     0,
+	}
+	for name, v := range want {
+		if got := counterValue(t, reg, name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	// The telemetry mirror must agree with the authoritative Counters.
+	cnt := c.Counters()
+	if got := counterValue(t, reg, "greenps_broker_msgs_in_total"); got != int64(cnt.MsgsIn) {
+		t.Errorf("msgs_in = %d, Counters().MsgsIn = %d", got, cnt.MsgsIn)
+	}
+	if got := counterValue(t, reg, "greenps_broker_msgs_out_total"); got != int64(cnt.MsgsOut) {
+		t.Errorf("msgs_out = %d, Counters().MsgsOut = %d", got, cnt.MsgsOut)
+	}
+	if got := counterValue(t, reg, "greenps_broker_bytes_out_total"); got != int64(cnt.BytesOut) {
+		t.Errorf("bytes_out = %d, Counters().BytesOut = %d", got, cnt.BytesOut)
+	}
+
+	// A BIR round on a leaf broker completes immediately.
+	if _, err := c.Handle(broker.Endpoint{Kind: broker.KindBroker, ID: "B9"},
+		&message.Envelope{Kind: message.KindBIR, BIR: &message.BIR{RequestID: "R1"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "greenps_broker_bir_rounds_total"); got != 1 {
+		t.Errorf("bir_rounds = %d, want 1", got)
+	}
+}
+
+// TestNodeTelemetry runs the live stack with a registry attached and
+// checks the broker and transport metric sets both tick, and that the
+// Prometheus exposition carries the per-broker label.
+func TestNodeTelemetry(t *testing.T) {
+	reg := telemetry.New(map[string]string{"broker": "B1"})
+	n, err := broker.StartNode(broker.NodeConfig{
+		ID:           "B1",
+		ListenAddr:   "127.0.0.1:0",
+		Delay:        message.MatchingDelayFn{Base: 0.001},
+		Telemetry:    reg,
+		WriteTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	sub, err := client.Connect("sub1", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Close() }()
+	if err := sub.Subscribe(message.NewSubscription("s1", "sub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := client.Connect("pub1", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	if err := pub.Advertise(message.NewAdvertisement("A", "pub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := pub.Publish("A", map[string]message.Value{"x": message.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Publications():
+	case <-time.After(10 * time.Second):
+		t.Fatal("publication never delivered")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		delivered := counterValue(t, reg, "greenps_broker_pubs_delivered_total")
+		frames := counterValue(t, reg, "greenps_transport_frames_sent_total")
+		if delivered >= 1 && frames >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never ticked: delivered=%d frames=%d", delivered, frames)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`greenps_broker_msgs_in_total{broker="B1"}`,
+		`greenps_broker_queue_depth{broker="B1"}`,
+		`greenps_broker_limiter_wait_seconds_count{broker="B1"}`,
+		`greenps_transport_bytes_sent_total{broker="B1"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// handlePublications pushes count publications through the core,
+// alternating matched and unmatched, reusing one output buffer the way
+// the event loop does.
+func handlePublications(tb testing.TB, c *broker.Core, count int) {
+	pubEP := broker.Endpoint{Kind: broker.KindClient, ID: "pub1"}
+	symbols := [2]string{"YHOO", "MSFT"}
+	out := make([]broker.Outgoing, 0, 4)
+	for i := 0; i < count; i++ {
+		out = out[:0]
+		var err error
+		out, err = c.Handle(pubEP, pubEnvelope(i, symbols[i%2]), out)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// TestInstrumentedOverhead gates the cost of full instrumentation on
+// the broker's publication hot path: the budget is ~2%, asserted at 5%
+// to absorb scheduler noise. Runs are interleaved and the minimum per
+// variant is kept, which filters one-sided interference.
+func TestInstrumentedOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive; skipped under the race detector")
+	}
+	const iters = 100000
+	measure := func(inst *broker.Instruments) time.Duration {
+		c := instrumentedCore(t, inst)
+		handlePublications(t, c, iters/10) // warm the matcher and caches
+		start := time.Now()
+		handlePublications(t, c, iters)
+		return time.Since(start)
+	}
+	reg := telemetry.New(nil)
+	inst := broker.NewInstruments(reg)
+	base, instrumented := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		if d := measure(nil); d < base {
+			base = d
+		}
+		if d := measure(inst); d < instrumented {
+			instrumented = d
+		}
+	}
+	ratio := float64(instrumented) / float64(base)
+	t.Logf("base=%v instrumented=%v ratio=%.4f", base, instrumented, ratio)
+	if ratio > 1.05 {
+		t.Errorf("instrumentation overhead %.1f%% exceeds the budget (base %v, instrumented %v)",
+			(ratio-1)*100, base, instrumented)
+	}
+}
+
+// BenchmarkCoreHandlePublication measures the publication hot path with
+// instrumentation disabled and enabled; the bench smoke in CI tracks
+// the pair.
+func BenchmarkCoreHandlePublication(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		inst *broker.Instruments
+	}{
+		{"noop", nil},
+		{"instrumented", broker.NewInstruments(telemetry.New(nil))},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			c := instrumentedCore(b, variant.inst)
+			b.ReportAllocs()
+			b.ResetTimer()
+			handlePublications(b, c, b.N)
+		})
+	}
+}

@@ -35,14 +35,16 @@ func NewLimiter(rate float64) *Limiter {
 }
 
 // Wait blocks until n bytes of budget are available and consumes them.
-func (l *Limiter) Wait(n int) {
+// It returns the wait it imposed (zero when the bucket covered the
+// message), which the live node feeds into the limiter-wait histogram.
+func (l *Limiter) Wait(n int) time.Duration {
 	if l == nil {
-		return
+		return 0
 	}
 	l.mu.Lock()
 	if l.rate <= 0 {
 		l.mu.Unlock()
-		return
+		return 0
 	}
 	now := time.Now()
 	l.tokens += now.Sub(l.last).Seconds() * l.rate
@@ -60,4 +62,5 @@ func (l *Limiter) Wait(n int) {
 	if wait > 0 {
 		sleep(wait)
 	}
+	return wait
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
 	"github.com/greenps/greenps/internal/transport"
 )
 
@@ -26,6 +27,12 @@ type Node struct {
 	listener *transport.Listener
 	limiter  *Limiter
 	logger   *log.Logger
+
+	// inst/tinst are never nil; zero bundles no-op. writeTimeout is
+	// applied to every peer connection (0 = no deadline).
+	inst         *Instruments
+	tinst        *transport.Instruments
+	writeTimeout time.Duration
 
 	inbox chan inboundMsg
 
@@ -71,6 +78,13 @@ type NodeConfig struct {
 	Logger *log.Logger
 	// InboxDepth bounds the event queue (default 1024).
 	InboxDepth int
+	// Telemetry receives the broker and transport metric sets (nil
+	// disables instrumentation).
+	Telemetry *telemetry.Registry
+	// WriteTimeout bounds each frame write to a peer; a peer that stops
+	// draining fails the write with a transport.TimeoutError and is
+	// dropped instead of wedging the event loop (0 = no deadline).
+	WriteTimeout time.Duration
 }
 
 // StartNode creates the broker and begins serving.
@@ -84,6 +98,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		url = l.Addr()
 	}
 	epoch := time.Now()
+	inst := NewInstruments(cfg.Telemetry)
 	core, err := New(Config{
 		ID:              cfg.ID,
 		URL:             url,
@@ -91,6 +106,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		OutputBandwidth: cfg.OutputBandwidth,
 		ProfileCapacity: cfg.ProfileCapacity,
 		Clock:           func() float64 { return time.Since(epoch).Seconds() },
+		Instruments:     inst,
 	})
 	if err != nil {
 		_ = l.Close()
@@ -105,13 +121,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		depth = 1024
 	}
 	n := &Node{
-		core:     core,
-		listener: l,
-		limiter:  NewLimiter(cfg.OutputBandwidth),
-		logger:   logger,
-		inbox:    make(chan inboundMsg, depth),
-		peers:    make(map[string]*peer),
-		closing:  make(chan struct{}),
+		core:         core,
+		listener:     l,
+		limiter:      NewLimiter(cfg.OutputBandwidth),
+		logger:       logger,
+		inst:         inst,
+		tinst:        transport.NewInstruments(cfg.Telemetry),
+		writeTimeout: cfg.WriteTimeout,
+		inbox:        make(chan inboundMsg, depth),
+		peers:        make(map[string]*peer),
+		closing:      make(chan struct{}),
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -191,6 +210,10 @@ func (n *Node) acceptLoop() {
 // registerPeer records the connection, updates the core's membership, and
 // starts the read pump.
 func (n *Node) registerPeer(ep Endpoint, conn *transport.Conn) {
+	// Configure before the connection is shared with the read pump and
+	// the event loop (the handshake frames are not counted).
+	conn.SetInstruments(n.tinst)
+	conn.SetWriteTimeout(n.writeTimeout)
 	p := &peer{ep: ep, conn: conn}
 	n.mu.Lock()
 	if old, ok := n.peers[ep.String()]; ok {
@@ -273,6 +296,7 @@ func (n *Node) eventLoop() {
 		case <-n.closing:
 			return
 		case m := <-n.inbox:
+			n.inst.QueueDepth.Set(int64(len(n.inbox)))
 			if m.envFn != nil {
 				m.envFn()
 				continue
@@ -301,7 +325,7 @@ func (n *Node) send(o Outgoing) {
 		n.logger.Printf("broker %s: no connection to %s", n.ID(), o.To)
 		return
 	}
-	n.limiter.Wait(o.Env.EncodedSize())
+	n.inst.LimiterWaitSeconds.ObserveDuration(n.limiter.Wait(o.Env.EncodedSize()))
 	if err := p.conn.Send(o.Env); err != nil {
 		n.logger.Printf("broker %s: send to %s: %v", n.ID(), o.To, err)
 		n.dropPeer(p)

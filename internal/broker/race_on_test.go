@@ -1,0 +1,8 @@
+//go:build race
+
+package broker_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead gate skips under it (instrumented atomics are serialized by
+// the detector, which inflates the ratio far past the real cost).
+const raceEnabled = true

@@ -97,6 +97,51 @@ type Plan struct {
 	BuildStats overlaybuild.Stats
 	// ComputeTime is the wall time spent planning (experiment E7).
 	ComputeTime time.Duration
+	// PhaseTimes breaks ComputeTime into pipeline stages. Like
+	// ComputeTime it is measurement, not plan content: sampled from
+	// Config.Clock (all zero when the clock is nil) and never fed back
+	// into planning.
+	PhaseTimes PhaseTimes
+}
+
+// PhaseTimes is the per-stage breakdown of a planning run, the raw
+// material of the coordinator's reconfiguration timeline.
+type PhaseTimes struct {
+	// Inputs covers converting the gathered BIA contents into the
+	// allocation input (load estimation included).
+	Inputs time.Duration
+	// Allocate covers the Phase-2 subscription allocation.
+	Allocate time.Duration
+	// Build covers the Phase-3 recursive overlay construction.
+	Build time.Duration
+	// Grape covers publisher relocation.
+	Grape time.Duration
+}
+
+// stageTimer laps the injected clock between pipeline stages; with no
+// clock every lap is zero.
+type stageTimer struct {
+	clock func() time.Time
+	last  time.Time
+}
+
+func newStageTimer(clock func() time.Time) *stageTimer {
+	t := &stageTimer{clock: clock}
+	if clock != nil {
+		t.last = clock()
+	}
+	return t
+}
+
+// lap returns the time since the previous lap (or construction).
+func (t *stageTimer) lap() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	now := t.clock()
+	d := now.Sub(t.last)
+	t.last = now
+	return d
 }
 
 // NumBrokers returns the number of brokers the plan allocates.
@@ -158,6 +203,7 @@ func ComputePlan(infos []message.BrokerInfo, cfg Config) (*Plan, error) {
 	if cfg.Clock != nil {
 		started = cfg.Clock()
 	}
+	st := newStageTimer(cfg.Clock)
 	in, err := inputsFromInfos(infos, cfg.ProfileCapacity)
 	if err != nil {
 		return nil, err
@@ -168,13 +214,14 @@ func ComputePlan(infos []message.BrokerInfo, cfg Config) (*Plan, error) {
 	}
 
 	plan := &Plan{Algorithm: cfg.Algorithm}
+	plan.PhaseTimes.Inputs = st.lap()
 	switch {
 	case cfg.Algorithm == AlgPairwiseK || cfg.Algorithm == AlgPairwiseN:
-		if err := planPairwise(plan, in, cfg); err != nil {
+		if err := planPairwise(plan, in, cfg, st); err != nil {
 			return nil, err
 		}
 	default:
-		if err := planThreePhase(plan, in, cfg, mode); err != nil {
+		if err := planThreePhase(plan, in, cfg, mode, st); err != nil {
 			return nil, err
 		}
 	}
@@ -218,7 +265,7 @@ func newAlgorithm(cfg Config) (allocation.Algorithm, error) {
 
 // planThreePhase runs the paper's pipeline: Phase-2 allocation, Phase-3
 // recursive overlay construction with the same algorithm, then GRAPE.
-func planThreePhase(plan *Plan, in *allocation.Input, cfg Config, mode grape.Mode) error {
+func planThreePhase(plan *Plan, in *allocation.Input, cfg Config, mode grape.Mode, st *stageTimer) error {
 	alg, err := newAlgorithm(cfg)
 	if err != nil {
 		return err
@@ -228,6 +275,7 @@ func planThreePhase(plan *Plan, in *allocation.Input, cfg Config, mode grape.Mod
 		return fmt.Errorf("core: phase 2 (%s): %w", cfg.Algorithm, err)
 	}
 	plan.Assignment = assign
+	plan.PhaseTimes.Allocate = st.lap()
 	if cram, ok := alg.(*allocation.CRAM); ok {
 		st := cram.Stats()
 		plan.CRAMStats = &st
@@ -244,11 +292,13 @@ func planThreePhase(plan *Plan, in *allocation.Input, cfg Config, mode grape.Mod
 	}
 	plan.Tree = tree
 	plan.BuildStats = builder.Stats()
+	plan.PhaseTimes.Build = st.lap()
 	placement, err := grape.Relocate(tree, in.Publishers, mode)
 	if err != nil {
 		return fmt.Errorf("core: GRAPE: %w", err)
 	}
 	plan.Publishers = placement
+	plan.PhaseTimes.Grape = st.lap()
 	return nil
 }
 
@@ -257,7 +307,7 @@ func planThreePhase(plan *Plan, in *allocation.Input, cfg Config, mode grape.Mod
 // count), an AUTOMATIC (random) overlay over the allocated brokers, and
 // random publisher placement — exactly how the paper extends the original
 // algorithms, which neither allocate brokers nor build overlays.
-func planPairwise(plan *Plan, in *allocation.Input, cfg Config) error {
+func planPairwise(plan *Plan, in *allocation.Input, cfg Config, st *stageTimer) error {
 	var k int
 	switch cfg.Algorithm {
 	case AlgPairwiseN:
@@ -279,11 +329,13 @@ func planPairwise(plan *Plan, in *allocation.Input, cfg Config) error {
 		return fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
 	plan.Assignment = assign
+	plan.PhaseTimes.Allocate = st.lap()
 	tree, err := RandomTree(assign, cfg.Seed)
 	if err != nil {
 		return err
 	}
 	plan.Tree = tree
+	plan.PhaseTimes.Build = st.lap()
 	// Random publisher placement over the allocated brokers.
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
 	brokers := tree.Brokers()
@@ -297,6 +349,7 @@ func planPairwise(plan *Plan, in *allocation.Input, cfg Config) error {
 		placement[advID] = brokers[rng.Intn(len(brokers))]
 	}
 	plan.Publishers = placement
+	plan.PhaseTimes.Grape = st.lap()
 	return nil
 }
 

@@ -8,6 +8,8 @@
 package croc
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,17 +19,30 @@ import (
 	"github.com/greenps/greenps/internal/client"
 	"github.com/greenps/greenps/internal/core"
 	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
 )
+
+// freshID mints a client or request identifier. A nanosecond timestamp
+// alone collides when two coordinators start inside one clock tick (or
+// when the platform clock is coarse), so a random suffix is appended;
+// if the system's entropy source fails, the bare timestamp is kept.
+func freshID(prefix string) string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%s-%d", prefix, time.Now().UnixNano())
+	}
+	return fmt.Sprintf("%s-%d-%s", prefix, time.Now().UnixNano(), hex.EncodeToString(b[:]))
+}
 
 // Gather connects to a broker, floods a Broker Information Request through
 // the overlay, and returns the aggregated answers.
 func Gather(brokerAddr string, timeout time.Duration) ([]message.BrokerInfo, error) {
-	c, err := client.Connect(fmt.Sprintf("croc-%d", time.Now().UnixNano()), brokerAddr)
+	c, err := client.Connect(freshID("croc"), brokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("croc: connect: %w", err)
 	}
 	defer func() { _ = c.Close() }()
-	reqID := fmt.Sprintf("bir-%d", time.Now().UnixNano())
+	reqID := freshID("bir")
 	if err := c.SendBIR(reqID); err != nil {
 		return nil, fmt.Errorf("croc: send BIR: %w", err)
 	}
@@ -52,7 +67,17 @@ func Gather(brokerAddr string, timeout time.Duration) ([]message.BrokerInfo, err
 // Reconfigure gathers information from a live overlay and computes the
 // reconfiguration plan.
 func Reconfigure(brokerAddr string, cfg core.Config, timeout time.Duration) (*core.Plan, error) {
+	return ReconfigureTimed(brokerAddr, cfg, timeout, nil)
+}
+
+// ReconfigureTimed is Reconfigure with a reconfiguration timeline: the
+// BIR/BIA gather becomes one span and the planning stages (from
+// Plan.PhaseTimes) become one span each. A nil timeline records
+// nothing.
+func ReconfigureTimed(brokerAddr string, cfg core.Config, timeout time.Duration, tl *telemetry.Timeline) (*core.Plan, error) {
+	done := tl.StartSpan("phase 1: gather broker info (BIR/BIA)")
 	infos, err := Gather(brokerAddr, timeout)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +86,35 @@ func Reconfigure(brokerAddr string, cfg core.Config, timeout time.Duration) (*co
 		// pure function; the live entry point wants real timings.
 		cfg.Clock = time.Now
 	}
-	return core.ComputePlan(infos, cfg)
+	return Plan(infos, cfg, tl)
+}
+
+// Plan computes the reconfiguration plan from gathered broker
+// information and lays the planning stages onto the timeline. Telemetry
+// stays strictly outside the computation: the plan is produced by
+// core.ComputePlan alone, and the spans are derived afterwards from the
+// plan's own PhaseTimes (zero-length spans when cfg.Clock is nil).
+func Plan(infos []message.BrokerInfo, cfg core.Config, tl *telemetry.Timeline) (*core.Plan, error) {
+	start := tl.Now()
+	plan, err := core.ComputePlan(infos, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pt := plan.PhaseTimes
+	at := start
+	for _, s := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"phase 2: build allocation inputs", pt.Inputs},
+		{"phase 2: allocate (" + cfg.Algorithm + ")", pt.Allocate},
+		{"phase 3: build overlay", pt.Build},
+		{"phase 3: GRAPE publisher placement", pt.Grape},
+	} {
+		tl.Add(s.name, at, s.d)
+		at = at.Add(s.d)
+	}
+	return plan, nil
 }
 
 // PlanDoc is the JSON form of a plan, consumed by deployment tooling.

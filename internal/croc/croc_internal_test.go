@@ -1,0 +1,25 @@
+package croc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFreshIDUnique mints IDs in a tight loop — far faster than the
+// clock tick that used to be the only discriminator — and requires
+// them all distinct. This is the regression test for the coordinator
+// ID collision: two Gather calls in the same nanosecond used to mint
+// the same client ID and BIR request ID.
+func TestFreshIDUnique(t *testing.T) {
+	seen := make(map[string]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := freshID("bir")
+		if !strings.HasPrefix(id, "bir-") {
+			t.Fatalf("freshID = %q, want bir- prefix", id)
+		}
+		if seen[id] {
+			t.Fatalf("freshID repeated %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"github.com/greenps/greenps/internal/client"
 	"github.com/greenps/greenps/internal/core"
 	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
 	"github.com/greenps/greenps/internal/topology"
 )
 
@@ -251,6 +252,14 @@ func (d *Deployment) FromTopology(f *topology.File) error {
 // broker, then tear down the old brokers and connections. Subscriber
 // delivery channels remain valid throughout.
 func (d *Deployment) Apply(plan *core.Plan) error {
+	return d.ApplyTimed(plan, nil)
+}
+
+// ApplyTimed is Apply with a reconfiguration timeline: each of the five
+// deployment steps becomes one span. A span is recorded only when its
+// step completes, so a failed apply shows exactly the steps that
+// finished. A nil timeline records nothing.
+func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -260,6 +269,7 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 	d.mu.Unlock()
 
 	// 1. Fresh broker instances on new ports, same IDs and capacities.
+	step := tl.StartSpan("apply: start fresh brokers")
 	newNodes := make(map[string]*broker.Node, plan.Tree.NumBrokers())
 	fail := func(err error) error {
 		for _, n := range newNodes {
@@ -280,7 +290,9 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 		}
 		newNodes[id] = n
 	}
+	step()
 	// 2. Overlay links per the constructed tree.
+	step = tl.StartSpan("apply: connect overlay links")
 	for parent, kids := range plan.Tree.Children {
 		for _, k := range kids {
 			if err := newNodes[parent].ConnectNeighbor(newNodes[k].Addr()); err != nil {
@@ -288,7 +300,9 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 			}
 		}
 	}
+	step()
 	// 3. Reconnect publishers at their GRAPE-assigned brokers.
+	step = tl.StartSpan("apply: reconnect publishers")
 	type swap struct {
 		old *client.Client
 	}
@@ -310,7 +324,9 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 		ps.conn = conn
 		ps.broker = target
 	}
+	step()
 	// 4. Reconnect subscribers at their Phase-2/3 assigned brokers.
+	step = tl.StartSpan("apply: reconnect subscribers")
 	for subID, ss := range d.subs {
 		target, ok := plan.Subscribers[subID]
 		if !ok {
@@ -332,7 +348,9 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 		ss.startPump()
 		swaps = append(swaps, swap{old: old})
 	}
+	step()
 	// 5. Tear down old client connections and all old brokers.
+	step = tl.StartSpan("apply: tear down old instances")
 	for _, s := range swaps {
 		_ = s.old.Close()
 	}
@@ -342,6 +360,7 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 	d.mu.Lock()
 	d.nodes = newNodes
 	d.mu.Unlock()
+	step()
 	return nil
 }
 

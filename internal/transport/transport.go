@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"github.com/greenps/greenps/internal/message"
+	"github.com/greenps/greenps/internal/telemetry"
 )
 
 // MaxFrameSize bounds a single frame; BIA messages carrying thousands of
@@ -44,8 +46,66 @@ type Hello struct {
 	URL string `json:"url,omitempty"`
 }
 
+// TimeoutError is the typed error returned when a frame write exceeds
+// the connection's configured write timeout: the peer stopped draining
+// its socket, and the connection should be considered wedged. It
+// unwraps to the underlying net error and reports Timeout() true, so
+// both errors.As(*TimeoutError) and the net.Error timeout idiom work.
+type TimeoutError struct {
+	// Op is the operation that timed out ("write frame").
+	Op string
+	// After is the configured timeout that elapsed.
+	After time.Duration
+	// Err is the underlying deadline error.
+	Err error
+}
+
+// Error renders the timeout.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("transport: %s timed out after %v: %v", e.Op, e.After, e.Err)
+}
+
+// Unwrap exposes the underlying net error to errors.Is/As.
+func (e *TimeoutError) Unwrap() error { return e.Err }
+
+// Timeout implements the net.Error timeout convention.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Instruments is the transport's optional telemetry bundle. Any field
+// may be nil (nil instruments no-op), and a nil *Instruments disables
+// everything, including the latency clock reads.
+type Instruments struct {
+	// FramesSent/FramesRecv count frames (hello included).
+	FramesSent *telemetry.Counter
+	FramesRecv *telemetry.Counter
+	// BytesSent/BytesRecv count wire bytes including the 4-byte header.
+	BytesSent *telemetry.Counter
+	BytesRecv *telemetry.Counter
+	// EncodeSeconds/DecodeSeconds time envelope JSON encode/decode.
+	EncodeSeconds *telemetry.Histogram
+	DecodeSeconds *telemetry.Histogram
+	// WriteTimeouts counts frame writes that exceeded the write timeout.
+	WriteTimeouts *telemetry.Counter
+}
+
+// NewInstruments registers the transport metric set on a registry
+// (returns an all-nil bundle on a nil registry, which disables
+// instrumentation at zero cost).
+func NewInstruments(r *telemetry.Registry) *Instruments {
+	return &Instruments{
+		FramesSent:    r.Counter("greenps_transport_frames_sent_total", "Frames written to peers (hello included)."),
+		FramesRecv:    r.Counter("greenps_transport_frames_recv_total", "Frames read from peers (hello included)."),
+		BytesSent:     r.Counter("greenps_transport_bytes_sent_total", "Wire bytes written, 4-byte frame headers included."),
+		BytesRecv:     r.Counter("greenps_transport_bytes_recv_total", "Wire bytes read, 4-byte frame headers included."),
+		EncodeSeconds: r.Histogram("greenps_transport_encode_seconds", "Envelope encode latency.", telemetry.DurationBuckets()),
+		DecodeSeconds: r.Histogram("greenps_transport_decode_seconds", "Envelope decode latency.", telemetry.DurationBuckets()),
+		WriteTimeouts: r.Counter("greenps_transport_write_timeouts_total", "Frame writes aborted by the write timeout."),
+	}
+}
+
 // Conn is a framed connection. Send is safe for concurrent use; Recv must
-// be called from a single goroutine.
+// be called from a single goroutine. SetWriteTimeout and SetInstruments
+// configure the connection and must be called before it is shared.
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
@@ -53,13 +113,41 @@ type Conn struct {
 	wmu sync.Mutex
 	w   *bufio.Writer
 
+	// writeTimeout bounds each frame write (0 = no deadline).
+	writeTimeout time.Duration
+	// inst is never nil; the zero bundle no-ops.
+	inst *Instruments
+
 	closeOnce sync.Once
 	closeErr  error
 }
 
+// noopInstruments is the shared disabled bundle.
+var noopInstruments = &Instruments{}
+
 // NewConn wraps an established net.Conn.
 func NewConn(nc net.Conn) *Conn {
-	return &Conn{nc: nc, r: bufio.NewReaderSize(nc, 1<<16), w: bufio.NewWriterSize(nc, 1<<16)}
+	return &Conn{
+		nc:   nc,
+		r:    bufio.NewReaderSize(nc, 1<<16),
+		w:    bufio.NewWriterSize(nc, 1<<16),
+		inst: noopInstruments,
+	}
+}
+
+// SetWriteTimeout bounds every subsequent frame write: a peer that
+// stops draining its socket fails the writer with a *TimeoutError
+// instead of wedging the writing goroutine indefinitely. Zero disables
+// the deadline. Call before the connection is shared.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout = d }
+
+// SetInstruments attaches telemetry (nil detaches). Call before the
+// connection is shared.
+func (c *Conn) SetInstruments(in *Instruments) {
+	if in == nil {
+		in = noopInstruments
+	}
+	c.inst = in
 }
 
 // Dial connects to a listener.
@@ -80,25 +168,46 @@ func (c *Conn) Close() error {
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
 
-// writeFrame sends one length-prefixed payload.
+// writeFrame sends one length-prefixed payload, bounded by the write
+// timeout when one is configured.
 func (c *Conn) writeFrame(payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("transport: set write deadline: %w", err)
+		}
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
+		return c.writeErr("write header", err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
-		return fmt.Errorf("transport: write payload: %w", err)
+		return c.writeErr("write payload", err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return fmt.Errorf("transport: flush: %w", err)
+		return c.writeErr("flush", err)
 	}
+	c.inst.FramesSent.Inc()
+	c.inst.BytesSent.Add(int64(len(payload)) + 4)
 	return nil
+}
+
+// writeErr wraps a frame-write failure; deadline expiry becomes the
+// typed *TimeoutError and is counted. Either way the connection is
+// unusable for writing (the frame may be half-sent), so callers must
+// drop it.
+func (c *Conn) writeErr(op string, err error) error {
+	var ne net.Error
+	if c.writeTimeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+		c.inst.WriteTimeouts.Inc()
+		return &TimeoutError{Op: "write frame", After: c.writeTimeout, Err: err}
+	}
+	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
 // readFrame receives one length-prefixed payload.
@@ -115,6 +224,8 @@ func (c *Conn) readFrame() ([]byte, error) {
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return nil, fmt.Errorf("transport: read payload: %w", err)
 	}
+	c.inst.FramesRecv.Inc()
+	c.inst.BytesRecv.Add(int64(n) + 4)
 	return payload, nil
 }
 
@@ -145,7 +256,15 @@ func (c *Conn) RecvHello() (Hello, error) {
 
 // Send encodes and sends one envelope.
 func (c *Conn) Send(env *message.Envelope) error {
-	data, err := message.Encode(env)
+	var data []byte
+	var err error
+	if h := c.inst.EncodeSeconds; h != nil {
+		start := time.Now()
+		data, err = message.Encode(env)
+		h.ObserveDuration(time.Since(start))
+	} else {
+		data, err = message.Encode(env)
+	}
 	if err != nil {
 		return err
 	}
@@ -158,6 +277,12 @@ func (c *Conn) Recv() (*message.Envelope, error) {
 	data, err := c.readFrame()
 	if err != nil {
 		return nil, err
+	}
+	if h := c.inst.DecodeSeconds; h != nil {
+		start := time.Now()
+		env, derr := message.Decode(data)
+		h.ObserveDuration(time.Since(start))
+		return env, derr
 	}
 	return message.Decode(data)
 }
