@@ -4,10 +4,17 @@
 // findings in file:line:col form, and exits non-zero when there are any —
 // so CI fails on the first reintroduced invariant violation.
 //
+// The -audit mode inverts the suppression machinery: it re-runs the
+// suite with //greenvet: directives ignored and reports the stale ones —
+// directives that no longer have a finding to suppress. A stale directive
+// silently licenses the next real violation at its site, so -audit
+// failing is a CI error just like a live finding.
+//
 // Usage:
 //
 //	go run ./cmd/greenvet ./...
 //	go run ./cmd/greenvet -only maporder,nondet ./internal/allocation
+//	go run ./cmd/greenvet -audit ./...
 package main
 
 import (
@@ -23,8 +30,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	audit := flag.Bool("audit", false, "report stale //greenvet: suppression directives instead of findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: greenvet [-only a,b] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: greenvet [-only a,b] [-audit] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the greenvet determinism & concurrency analyzers over the\ngiven go-list package patterns (default ./...).\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -65,7 +73,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := framework.Run(pkgs, suite)
+	run := framework.Run
+	noun := "finding"
+	if *audit {
+		run = framework.Audit
+		noun = "stale suppression"
+	}
+	diags, err := run(pkgs, suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
 		os.Exit(2)
@@ -74,7 +88,7 @@ func main() {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "greenvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(os.Stderr, "greenvet: %d %s(s) across %d package(s)\n", len(diags), noun, len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errflow", "fixture/errflow", errflow.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Fixture for the errflow analyzer: every error assigned from a call
+// must be checked, returned, or otherwise consumed on every CFG path to
+// function exit, before being overwritten.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func work() error          { return nil }
+func pair() (int, error)   { return 0, nil }
+func record(err error)     {}
+func wrap(err error) error { return fmt.Errorf("wrapped: %w", err) }
+
+// returned is the canonical clean shape.
+func returned() error {
+	err := work()
+	return err
+}
+
+// checkedEveryPath consumes the error in the condition: clean.
+func checkedEveryPath() {
+	if err := work(); err != nil {
+		record(err)
+	}
+}
+
+// droppedOnOnePath checks only one branch; the must-analysis catches the
+// fall-through.
+func droppedOnOnePath(flag bool) {
+	err := work() // want `error assigned to err is dropped on some path to return`
+	if flag {
+		record(err)
+	}
+}
+
+// overwrittenBeforeUse kills the first value without reading it.
+func overwrittenBeforeUse() error {
+	err := work() // want `error assigned to err is dropped on some path to return`
+	err = work()
+	return err
+}
+
+// reusedByShortDecl: the second := reuses err, killing the first value.
+func reusedByShortDecl() (int, error) {
+	err := work() // want `error assigned to err is dropped on some path to return`
+	n, err := pair()
+	return n, err
+}
+
+// wrappedIsAUse: passing the error onward consumes it.
+func wrappedIsAUse() error {
+	err := work()
+	return wrap(err)
+}
+
+// panicPathIsExempt: the error dies with the goroutine, not silently.
+func panicPathIsExempt(flag bool) error {
+	err := work()
+	if flag {
+		panic("fixture")
+	}
+	return err
+}
+
+// exitPathIsExempt: os.Exit is as terminal as panic.
+func exitPathIsExempt(flag bool) error {
+	err := work()
+	if flag {
+		os.Exit(2)
+		return nil
+	}
+	return err
+}
+
+// loopRetry drops the error of every iteration but the last — each
+// failed attempt overwrites err without anyone reading it.
+func loopRetry() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = work() // want `error assigned to err is dropped on some path to return`
+	}
+	return err
+}
+
+// retryUntilNil reads err in the loop condition before every overwrite:
+// clean.
+func retryUntilNil() error {
+	err := work()
+	for err != nil {
+		err = work()
+	}
+	return err
+}
+
+// capturedIsSkipped: closure capture moves the uses out of this CFG, so
+// the variable is not tracked.
+func capturedIsSkipped() {
+	err := work()
+	f := func() { record(err) }
+	f()
+}
+
+// addressTakenIsSkipped: &err escapes intraprocedural tracking.
+func addressTakenIsSkipped() {
+	err := work()
+	sink(&err)
+}
+
+func sink(*error) {}
+
+// joinedIsAUse: errors.Join-style aggregation consumes the value.
+func joinedIsAUse(prev error) error {
+	err := work()
+	return errors.Join(prev, err)
+}
+
+// suppressed documents why the overwrite-without-read is intended.
+func suppressed() error {
+	//greenvet:errdrop-ok fixture: first probe is best-effort; only the second attempt's error matters
+	err := work()
+	err = work()
+	return err
+}

@@ -54,6 +54,7 @@ func (d Diagnostic) String() string {
 type directive struct {
 	name string
 	why  string
+	pos  token.Position
 }
 
 // Pass carries one analyzer's view of one package.
@@ -71,6 +72,26 @@ type Pass struct {
 
 	diags      *[]Diagnostic
 	directives map[string]map[int]directive // file -> line -> directive
+
+	// audit disables suppression (Suppressed returns false) while
+	// recording which directives would have fired, so stale ones can be
+	// reported. live is shared across the package's passes and keyed by
+	// directive file:line.
+	audit bool
+	live  map[string]bool
+}
+
+// dirKey identifies one directive site for the audit's liveness set.
+func dirKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// markLive records that a matching directive was consulted at a definite
+// finding or declaration site.
+func (p *Pass) markLive(file string, line int) {
+	if p.live != nil {
+		p.live[dirKey(file, line)] = true
+	}
 }
 
 // Reportf records a diagnostic at pos.
@@ -86,6 +107,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // the same line or the line immediately above). A directive with an empty
 // justification still suppresses the original finding but reports a
 // diagnostic demanding the justification, so it can never silence CI.
+//
+// Analyzers must consult Suppressed only once a finding is otherwise
+// definite (directly before the Reportf it would silence): the audit
+// mode equates "this directive matched a Suppressed call" with "this
+// directive still suppresses a real finding", so a speculative early
+// check would hide staleness.
+//
+// In audit mode Suppressed records the match and returns false, so the
+// analyzer reports the raw finding and the audit learns which directives
+// still have one to suppress.
 func (p *Pass) Suppressed(pos token.Pos, name string) bool {
 	position := p.Fset.Position(pos)
 	byLine := p.directives[position.Filename]
@@ -94,8 +125,36 @@ func (p *Pass) Suppressed(pos token.Pos, name string) bool {
 		if !ok || d.name != name {
 			continue
 		}
+		if p.audit {
+			p.markLive(position.Filename, line)
+			return false
+		}
 		if strings.TrimSpace(d.why) == "" {
 			p.Reportf(pos, "//greenvet:%s suppression requires a justification", name)
+		}
+		return true
+	}
+	return false
+}
+
+// Directive reports whether a declaration-style //greenvet:<name>
+// directive covers pos (same line or the line above). Unlike Suppressed
+// it behaves identically in audit mode — declarations such as
+// //greenvet:hotpath opt code *into* an analyzer rather than silencing a
+// finding, so the audit must honor them — but consulting one still marks
+// it live, which is what exempts declarations from staleness reports. A
+// missing justification is demanded just like for suppressions.
+func (p *Pass) Directive(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		d, ok := byLine[line]
+		if !ok || d.name != name {
+			continue
+		}
+		p.markLive(position.Filename, line)
+		if !p.audit && strings.TrimSpace(d.why) == "" {
+			p.Reportf(pos, "//greenvet:%s directive requires a justification", name)
 		}
 		return true
 	}
@@ -121,7 +180,7 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 					byLine = make(map[int]directive)
 					out[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = directive{name: name, why: why}
+				byLine[pos.Line] = directive{name: name, why: why, pos: pos}
 			}
 		}
 	}
@@ -151,6 +210,60 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// Audit re-runs every analyzer with suppression disabled and reports the
+// stale //greenvet: directives: directives that no analyzer would have
+// consulted at a definite finding (for suppressions) or declaration site
+// (for Directive-style markers). The analyzers' raw findings are
+// discarded — a suppressed finding is legitimate; a suppression with
+// nothing left to suppress is the rot this mode exists to catch, since a
+// stale directive silently licenses the next real violation at its site.
+func Audit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var stale []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		live := make(map[string]bool)
+		var discard []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Imports:    pkg.Imports,
+				diags:      &discard,
+				directives: dirs,
+				audit:      true,
+				live:       live,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, byLine := range dirs {
+			for _, d := range byLine {
+				if live[dirKey(d.pos.Filename, d.pos.Line)] {
+					continue
+				}
+				stale = append(stale, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "audit",
+					Message: fmt.Sprintf("stale //greenvet:%s directive: no analyzer reports a finding at this site anymore; remove it or re-justify against current code",
+						d.name),
+				})
+			}
+		}
+	}
+	sortDiagnostics(stale)
+	return stale, nil
+}
+
+// sortDiagnostics orders findings by position then analyzer name.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -164,5 +277,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

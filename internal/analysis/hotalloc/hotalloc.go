@@ -1,0 +1,425 @@
+// Package hotalloc audits functions declared hot for allocation-inducing
+// constructs. A function opts in with
+//
+//	//greenvet:hotpath <why this is a hot path>
+//
+// directly above its declaration — the bitvector kernels, the broker's
+// per-message Handle, and the telemetry instruments are the declared set.
+// Inside a hot function the analyzer reports:
+//
+//   - implicit interface boxing: a non-pointer-shaped concrete value
+//     converted to an interface (call argument, assignment, return)
+//     heap-allocates the value;
+//   - capturing closures: a func literal that captures variables
+//     allocates the closure object (capture-free literals compile to
+//     static functions and are exempt);
+//   - fmt calls: the formatter walks its arguments reflectively and
+//     boxes every operand;
+//   - append inside a loop on a slice with no preallocated capacity:
+//     the growth doublings dominate small-batch latency.
+//
+// Findings are path-gated through the CFG: a site whose every
+// continuation ends in a non-nil error return (or a panic) is cold — the
+// function is already failing — and is not reported. That is what lets
+// validation code at the top of a hot function build its error with
+// fmt.Errorf without noise.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/cfg"
+	"github.com/greenps/greenps/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation-inducing constructs in //greenvet:hotpath-declared functions",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Directive (not Suppressed): hotpath is a declaration that
+			// opts the function in, so audit mode honors it identically.
+			if !pass.Directive(fn.Pos(), "hotpath") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	g := cfg.New(fn.Body)
+	returnsError := fnReturnsError(pass, fn)
+
+	// Backward must-analysis: cold = every path from this point reaches a
+	// non-nil error return or a panic. Boundary false: reaching the exit
+	// normally means the call succeeded, i.e. this was the hot path.
+	analysis := cfg.Analysis[bool]{
+		Boundary: false,
+		Join:     func(a, b bool) bool { return a && b },
+		Transfer: func(b *cfg.Block, in bool) bool {
+			cold := in
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				cold = nodeCold(pass, b.Nodes[i], returnsError, cold)
+			}
+			return cold
+		},
+		Equal: func(a, b bool) bool { return a == b },
+	}
+	in := cfg.Backward(g, analysis)
+
+	loops := loopSpans(fn.Body)
+	prealloc := preallocatedSlices(pass, fn.Body)
+	var results *types.Tuple
+	if fnObj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+		results = fnObj.Type().(*types.Signature).Results()
+	}
+
+	for _, b := range g.Blocks {
+		if _, ok := in[b]; !ok {
+			continue // unreachable
+		}
+		cold := blockOut(b, in)
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			// Update first: a node that *is* the error return (e.g.
+			// `return fmt.Errorf(...)`) is itself on the failing path and
+			// must be gated by the fact that includes it.
+			cold = nodeCold(pass, n, returnsError, cold)
+			if !cold {
+				checkNode(pass, n, loops, prealloc, results)
+			}
+		}
+	}
+}
+
+// blockOut is the AND-join of the successors' entry facts (false at the
+// function exit and at dead ends, whose own terminal nodes re-establish
+// coldness during the walk).
+func blockOut(b *cfg.Block, in map[*cfg.Block]bool) bool {
+	if len(b.Succs) == 0 {
+		return false
+	}
+	out := true
+	for _, s := range b.Succs {
+		if f, ok := in[s]; ok {
+			out = out && f
+		}
+	}
+	return out
+}
+
+// nodeCold updates the cold fact across one node in reverse execution
+// order: an error return or a panic makes everything before it cold.
+func nodeCold(pass *framework.Pass, n ast.Node, returnsError bool, cold bool) bool {
+	switch x := n.(type) {
+	case *ast.ReturnStmt:
+		return returnsError && len(x.Results) > 0 && !isNilIdent(pass, x.Results[len(x.Results)-1])
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return cold
+}
+
+func isNilIdent(pass *framework.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func fnReturnsError(pass *framework.Pass, fn *ast.FuncDecl) bool {
+	results := fn.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	last := results.List[len(results.List)-1]
+	t := pass.Info.TypeOf(last.Type)
+	return t != nil && types.Identical(t, errorType)
+}
+
+// checkNode classifies the allocation-inducing constructs inside one hot
+// CFG node.
+func checkNode(pass *framework.Pass, n ast.Node, loops []span, prealloc map[*types.Var]token.Pos, results *types.Tuple) {
+	cfg.InspectShallow(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				reportf(pass, x.Pos(), "fmt.%s call in hot path allocates (reflective formatting boxes every operand)", fn.Name())
+				return false // the fmt report covers the boxed arguments
+			}
+			checkCallBoxing(pass, x)
+		case *ast.FuncLit:
+			if capt := captured(pass, x); capt != "" {
+				reportf(pass, x.Pos(), "closure captures %s and allocates in hot path; hoist the literal or pass values as parameters", capt)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, x, loops, prealloc)
+		case *ast.ReturnStmt:
+			// Boxing via return into interface-typed results: the
+			// declared result tuple gives the conversion targets.
+			if results != nil && len(x.Results) == results.Len() {
+				for i, r := range x.Results {
+					reportBoxing(pass, r, results.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportf(pass *framework.Pass, pos token.Pos, format string, args ...any) {
+	// Consulted only once the finding is definite, so -audit can equate
+	// a matched directive with a live suppression.
+	if pass.Suppressed(pos, "alloc-ok") {
+		return
+	}
+	pass.Reportf(pos, format+" — or justify with //greenvet:alloc-ok", args...)
+}
+
+// checkCallBoxing flags concrete non-pointer-shaped arguments passed to
+// interface-typed parameters.
+func checkCallBoxing(pass *framework.Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, pt)
+	}
+}
+
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt, loops []span, prealloc map[*types.Var]token.Pos) {
+	if obj, loopStart, ok := appendInLoop(pass, as, loops); ok {
+		if mk, pre := prealloc[obj]; !pre || mk > loopStart {
+			reportf(pass, as.Pos(), "append to %s inside a loop without preallocated capacity; make the slice with capacity before the loop", obj.Name())
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, l := range as.Lhs {
+			if lt := pass.Info.TypeOf(l); lt != nil {
+				reportBoxing(pass, as.Rhs[i], lt)
+			}
+		}
+	}
+}
+
+// reportBoxing reports arg if converting it to target boxes a value:
+// target is an interface and arg's concrete type is not pointer-shaped.
+func reportBoxing(pass *framework.Pass, arg ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := pass.Info.TypeOf(arg)
+	if at == nil || pointerShaped(at) {
+		return
+	}
+	if _, ok := at.Underlying().(*types.Interface); ok {
+		return // interface-to-interface, no new allocation
+	}
+	reportf(pass, arg.Pos(), "passing %s boxes a %s into interface %s and allocates in hot path; keep the value concrete",
+		framework.ExprString(pass.Fset, arg), at.String(), target.String())
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// without allocation: pointers, channels, maps, funcs, unsafe pointers,
+// and untyped nil.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	case *types.TypeParam:
+		return false
+	}
+	return false
+}
+
+// captured returns the name of one variable the func literal captures
+// from an enclosing scope, or "" when the literal is capture-free.
+func captured(pass *framework.Pass, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared outside the literal → captured.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// span is a source range, used to locate loop bodies.
+type span struct{ start, end token.Pos }
+
+// loopSpans collects the body ranges of every for/range loop in the
+// function (func literals pruned — they are separate functions).
+func loopSpans(body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			out = append(out, span{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			out = append(out, span{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// appendInLoop matches `s = append(s, ...)` (or :=) where the statement
+// sits inside a loop body, returning the slice variable and the start of
+// the innermost enclosing loop.
+func appendInLoop(pass *framework.Pass, as *ast.AssignStmt, loops []span) (*types.Var, token.Pos, bool) {
+	var loopStart token.Pos = token.NoPos
+	for _, l := range loops {
+		if as.Pos() >= l.start && as.Pos() <= l.end {
+			if loopStart == token.NoPos || l.start > loopStart {
+				loopStart = l.start
+			}
+		}
+	}
+	if loopStart == token.NoPos {
+		return nil, 0, false
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, 0, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, 0, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !isBuiltin(pass, id, "append") {
+		return nil, 0, false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, 0, false
+	}
+	v, ok := varOf(pass, lhs)
+	if !ok {
+		return nil, 0, false
+	}
+	return v, loopStart, true
+}
+
+// preallocatedSlices maps slice variables to the position of a make call
+// with explicit size (len, or len+cap) that initializes them.
+func preallocatedSlices(pass *framework.Pass, body *ast.BlockStmt) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			call, ok := r.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltin(pass, id, "make") {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := varOf(pass, lhs); ok {
+				out[v] = as.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltin(pass *framework.Pass, id *ast.Ident, name string) bool {
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func varOf(pass *framework.Pass, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	return v, ok
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotalloc", "fixture/hotalloc", hotalloc.Analyzer)
+}

@@ -1,0 +1,108 @@
+// Fixture for the hotalloc analyzer: only functions declared with
+// //greenvet:hotpath are audited, and findings on paths that inevitably
+// fail (every continuation returns a non-nil error or panics) are cold
+// and exempt.
+package hotalloc
+
+import "fmt"
+
+func sinkAny(v any)      {}
+func sinkMany(vs ...any) {}
+
+// notDeclared allocates freely: no hotpath directive, no findings.
+func notDeclared(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//greenvet:hotpath fixture: per-call kernel
+func fmtOnHotPath(n int) int {
+	s := fmt.Sprintf("%d", n) // want `fmt.Sprintf call in hot path allocates`
+	return n + len(s)
+}
+
+//greenvet:hotpath fixture: validation failures are cold
+func fmtOnErrorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+//greenvet:hotpath fixture: panicking paths are cold
+func fmtBeforePanic(n int) int {
+	if n < 0 {
+		s := fmt.Sprintf("%d", n)
+		panic(s)
+	}
+	return n * 2
+}
+
+//greenvet:hotpath fixture: interface boxing
+func boxesInt(n int) {
+	sinkAny(n) // want `boxes a int into interface`
+}
+
+//greenvet:hotpath fixture: variadic parameters box each operand
+func boxesVariadic(n int) {
+	sinkMany(n) // want `boxes a int into interface`
+}
+
+//greenvet:hotpath fixture: a pointer rides the interface data word
+func pointerIsFree(p *int) {
+	sinkAny(p)
+}
+
+//greenvet:hotpath fixture: interface-to-interface re-passing is free
+func ifaceToIface(v any) {
+	sinkAny(v)
+}
+
+//greenvet:hotpath fixture: boxing via interface-typed results
+func returnsBoxed(n int) any {
+	return n // want `boxes a int into interface`
+}
+
+//greenvet:hotpath fixture: capturing closures allocate
+func capturing(n int) func() int {
+	f := func() int { return n } // want `closure captures n and allocates`
+	return f
+}
+
+//greenvet:hotpath fixture: capture-free literals compile to static funcs
+func captureFree(xs []int) int {
+	f := func(a, b int) int { return a + b }
+	t := 0
+	for _, x := range xs {
+		t = f(t, x)
+	}
+	return t
+}
+
+//greenvet:hotpath fixture: growth doublings in the loop
+func appendNoPrealloc(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to out inside a loop without preallocated capacity`
+	}
+	return out
+}
+
+//greenvet:hotpath fixture: capacity reserved up front
+func appendPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//greenvet:hotpath fixture: justified allocation survives review
+func suppressedAlloc(n int) {
+	//greenvet:alloc-ok fixture: one-time warmup, amortized away
+	sinkAny(n)
+}
+
+//greenvet:hotpath
+func missingWhy(n int) int { // want `//greenvet:hotpath directive requires a justification`
+	return n
+}

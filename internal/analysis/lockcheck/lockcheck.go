@@ -1,0 +1,422 @@
+// Package lockcheck tracks sync.Mutex/RWMutex locksets through each
+// function's control-flow graph and reports two classes of hazard:
+//
+//  1. A lock held across a blocking operation — a channel send/receive,
+//     a default-less select, a Wait-style join, a sleep, or a call into
+//     the wire layers (net, bufio, io, transport.Conn, client.Client).
+//     A goroutine that blocks while holding a mutex stalls every
+//     contender for as long as the operation takes; if the operation
+//     can only complete once a contender runs (the broker event-loop
+//     feeding its own inbox, say), the stall is a deadlock.
+//
+//  2. Inconsistent lock-acquisition order: two locks acquired in both
+//     the A-then-B and B-then-A orders somewhere in the same package.
+//     Each order is individually fine; together they are the classic
+//     two-thread deadlock, and no test run is guaranteed to interleave
+//     into it.
+//
+// The lockset analysis is a forward may-analysis: at a merge point a
+// lock counts as held if any incoming path holds it, so a report reads
+// "may be held". Deferred unlocks deliberately do not clear the lockset
+// — `defer mu.Unlock()` keeps the lock until the function returns, which
+// is exactly the window the analysis measures. One report is issued per
+// (lock, function): a //greenvet:lock-ok <justification> at the first
+// reported site covers that lock for the rest of the function.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/greenps/greenps/internal/analysis/cfg"
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags mutexes held across blocking operations and inconsistent lock-acquisition order",
+	Run:  run,
+}
+
+// lockset maps a lock's canonical root (e.g. "Node.mu") to the position
+// where it was (last) acquired on some path reaching the program point.
+type lockset map[string]token.Pos
+
+func (ls lockset) clone() lockset {
+	out := make(lockset, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// orderEdge records one observed nested acquisition: `inner` taken while
+// `outer` was already held.
+type orderEdge struct {
+	outer, inner string
+	pos          token.Pos
+}
+
+func run(pass *framework.Pass) error {
+	var edges []orderEdge
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body, &edges)
+			}
+			return true
+		})
+	}
+	reportInversions(pass, edges)
+	return nil
+}
+
+// checkFunc runs the lockset fixpoint over one function body and then a
+// single reporting sweep using the stable in-facts. Note the FuncLit
+// bodies nested inside are analyzed by their own checkFunc call (the
+// ast.Inspect in run visits them too) and skipped here by InspectShallow.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
+	g := cfg.New(body)
+	analysis := cfg.Analysis[lockset]{
+		Boundary: lockset{},
+		Join: func(a, b lockset) lockset {
+			out := a.clone()
+			for k, v := range b {
+				if _, ok := out[k]; !ok {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Transfer: func(b *cfg.Block, in lockset) lockset {
+			out := in.clone()
+			for _, n := range b.Nodes {
+				applyNode(pass, n, out, nil, nil)
+			}
+			return out
+		},
+		Equal: func(a, b lockset) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := cfg.Forward(g, analysis)
+
+	// Select communication clauses appear as ordinary send/receive nodes
+	// in their clause blocks, but the blocking point is the select itself
+	// (already reported when default-less); never re-report the comm.
+	comms := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			comms[cc.Comm] = true
+		}
+		return true
+	})
+
+	// Reporting sweep: re-apply the transfer over each block, this time
+	// recording order edges and blocking-site reports. reported tracks
+	// locks already diagnosed in this function; suppressing the first
+	// site covers the rest.
+	reported := make(map[string]bool)
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		cur := fact.clone()
+		for _, n := range b.Nodes {
+			report := func(pos token.Pos, desc string) {
+				reportBlocked(pass, pos, desc, cur, reported)
+			}
+			if comms[n] {
+				report = nil
+			}
+			applyNode(pass, n, cur, edges, report)
+		}
+	}
+}
+
+// applyNode applies one CFG node's lock effects to ls. When report is
+// non-nil it also classifies blocking operations inside the node and
+// invokes report for each; when edges is non-nil nested acquisitions are
+// recorded for the order check.
+func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge, report func(token.Pos, string)) {
+	switch n.(type) {
+	case *ast.DeferStmt:
+		// Deferred lock-method calls run at function exit; in particular
+		// `defer mu.Unlock()` must not clear the lockset here. Deferred
+		// calls to blocking operations are out of scope.
+		return
+	case *ast.GoStmt:
+		// Launching a goroutine never blocks the holder; the launched
+		// body is analyzed as its own function.
+		return
+	}
+	cfg.InspectShallow(n, func(m ast.Node) bool {
+		switch node := m.(type) {
+		case *ast.CallExpr:
+			if root, op, ok := lockOp(pass, node); ok {
+				switch op {
+				case "Lock", "RLock":
+					if edges != nil {
+						for held := range ls {
+							if held != root {
+								*edges = append(*edges, orderEdge{outer: held, inner: root, pos: node.Pos()})
+							}
+						}
+					}
+					ls[root] = node.Pos()
+				case "Unlock", "RUnlock":
+					delete(ls, root)
+				}
+				return false
+			}
+			if report != nil {
+				if desc, ok := blockingCall(pass, node); ok {
+					report(node.Pos(), desc)
+				}
+			}
+		case *ast.SendStmt:
+			if report != nil {
+				report(node.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if report != nil && node.Op == token.ARROW {
+				report(node.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if report != nil && !cfg.HasDefault(node) {
+				report(node.Pos(), "select without default")
+			}
+		case *ast.RangeStmt:
+			if report != nil {
+				if t := pass.Info.TypeOf(node.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(node.Pos(), "range over channel")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportBlocked emits one diagnostic per held lock at a blocking site,
+// the first time that lock is diagnosed in the function.
+func reportBlocked(pass *framework.Pass, pos token.Pos, desc string, ls lockset, reported map[string]bool) {
+	roots := make([]string, 0, len(ls))
+	for root := range ls {
+		if !reported[root] {
+			roots = append(roots, root)
+		}
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		reported[root] = true
+		// Consulted only once the finding is definite, so -audit can
+		// equate a matched directive with a live suppression.
+		if pass.Suppressed(pos, "lock-ok") {
+			continue
+		}
+		acq := pass.Fset.Position(ls[root])
+		pass.Reportf(pos, "%s may be held (acquired at line %d) across %s; a blocked holder stalls every contender — release the lock first or justify with //greenvet:lock-ok",
+			root, acq.Line, desc)
+	}
+}
+
+// reportInversions finds lock pairs acquired in both orders anywhere in
+// the package and reports each direction's first occurrence.
+func reportInversions(pass *framework.Pass, edges []orderEdge) {
+	type pair struct{ outer, inner string }
+	first := make(map[pair]token.Pos)
+	for _, e := range edges {
+		p := pair{e.outer, e.inner}
+		if prev, ok := first[p]; !ok || e.pos < prev {
+			first[p] = e.pos
+		}
+	}
+	pairs := make([]pair, 0, len(first))
+	for p := range first {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].outer != pairs[j].outer {
+			return pairs[i].outer < pairs[j].outer
+		}
+		return pairs[i].inner < pairs[j].inner
+	})
+	for _, p := range pairs {
+		rev := pair{p.inner, p.outer}
+		revPos, ok := first[rev]
+		if !ok || p.outer >= p.inner {
+			continue // report each unordered pair once, from the lexically smaller outer
+		}
+		pos := first[p]
+		// Consulted only once the finding is definite, so -audit can
+		// equate a matched directive with a live suppression.
+		if pass.Suppressed(pos, "lock-ok") || pass.Suppressed(revPos, "lock-ok") {
+			continue
+		}
+		revLine := pass.Fset.Position(revPos).Line
+		pass.Reportf(pos, "%s acquired while holding %s, but line %d acquires them in the opposite order; pick one order package-wide or justify with //greenvet:lock-ok",
+			p.inner, p.outer, revLine)
+	}
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex lock-method call,
+// returning the lock's canonical root and the method name.
+func lockOp(pass *framework.Pass, call *ast.CallExpr) (root, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockRoot(pass, sel.X), name, true
+}
+
+// lockRoot canonicalizes the lock-holding expression so that the same
+// lock reached through different receivers compares equal across
+// functions: a struct field becomes "TypeName.field", a package-level
+// variable "pkgname.var", anything else its printed source form.
+func lockRoot(pass *framework.Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := pass.Info.Selections[x]; ok && selection.Kind() == types.FieldVal {
+			t := selection.Recv()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.ParenExpr:
+		return lockRoot(pass, x.X)
+	}
+	return framework.ExprString(pass.Fset, e)
+}
+
+// blockingFuncs are package-level functions that block the calling
+// goroutine (or may, for unbounded time), keyed by framework.FuncKey.
+var blockingFuncs = map[string]string{
+	"time.Sleep":                  "time.Sleep",
+	"io.Copy":                     "io.Copy",
+	"io.CopyN":                    "io.CopyN",
+	"io.ReadFull":                 "io.ReadFull",
+	"io.ReadAll":                  "io.ReadAll",
+	"net.Dial":                    "net.Dial",
+	"net.DialTimeout":             "net.DialTimeout",
+	"net.Listen":                  "net.Listen",
+	scope.ParworkPath + ".Run":    "parwork.Run (fork/join)",
+	scope.TransportPath + ".Dial": "transport.Dial",
+	scope.ClientPath + ".Connect": "client.Connect",
+}
+
+// blockingMethodPkgs are packages all of whose I/O-shaped methods count
+// as blocking; the set lists the method names per package path.
+var blockingMethodPkgs = map[string]map[string]bool{
+	"net": {
+		"Read": true, "Write": true, "Accept": true, "Close": false,
+	},
+	"bufio": {
+		"Read": true, "Write": true, "Flush": true, "ReadByte": true,
+		"WriteByte": true, "ReadString": true, "WriteString": true,
+		"ReadBytes": true, "ReadRune": true, "ReadSlice": true,
+		"ReadLine": true, "Peek": true,
+	},
+	scope.TransportPath: {
+		"Send": true, "Recv": true, "SendHello": true, "RecvHello": true,
+		"writeFrame": true, "readFrame": true, "Accept": true,
+	},
+	scope.ClientPath: {
+		"Advertise": true, "Unadvertise": true, "Publish": true,
+		"PublishAt": true, "Subscribe": true, "Unsubscribe": true,
+		"SendBIR": true, "Close": true,
+	},
+}
+
+// blockingCall classifies a call expression as a blocking operation.
+func blockingCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if isSel {
+		if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			fn := selection.Obj().(*types.Func)
+			name := fn.Name()
+			// Wait-style joins block by definition (sync.WaitGroup,
+			// sync.Cond, parwork.Group, broker.Limiter all share the name).
+			if name == "Wait" {
+				return callName(pass, sel) + " (join)", true
+			}
+			if fn.Pkg() != nil {
+				if methods, ok := blockingMethodPkgs[fn.Pkg().Path()]; ok && methods[name] {
+					return callName(pass, sel) + " (blocking I/O)", true
+				}
+			}
+			return "", false
+		}
+	}
+	fn := framework.FuncOf(pass.Info, call.Fun)
+	if fn == nil {
+		return "", false
+	}
+	if desc, ok := blockingFuncs[framework.FuncKey(fn)]; ok {
+		return desc, true
+	}
+	return "", false
+}
+
+// callName renders a method call as "Type.Method" for diagnostics.
+func callName(pass *framework.Pass, sel *ast.SelectorExpr) string {
+	if selection, ok := pass.Info.Selections[sel]; ok {
+		t := selection.Recv()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + sel.Sel.Name
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+			if !strings.Contains(s, "{") {
+				return s + "." + sel.Sel.Name
+			}
+		}
+	}
+	return sel.Sel.Name
+}

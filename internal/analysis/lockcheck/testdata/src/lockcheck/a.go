@@ -1,0 +1,131 @@
+// Fixture for the lockcheck analyzer: locksets flow through the CFG, so
+// a mutex held (on any path) at a blocking operation is reported, and
+// opposite-order nested acquisitions anywhere in the package are paired
+// up into an inversion report.
+package lockcheck
+
+import (
+	"sync"
+	"time"
+)
+
+var muA, muB sync.Mutex
+
+type server struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+// sendWhileLocked blocks on a channel send with the lock held.
+func sendWhileLocked(ch chan int) {
+	muA.Lock()
+	ch <- 1 // want `lockcheck.muA may be held \(acquired at line 21\) across channel send`
+	muA.Unlock()
+}
+
+// recvAfterUnlock releases before blocking: clean.
+func recvAfterUnlock(ch chan int) int {
+	muA.Lock()
+	muA.Unlock()
+	return <-ch
+}
+
+// deferredUnlockHoldsToExit keeps the lock across the receive because the
+// unlock is deferred to function exit.
+func deferredUnlockHoldsToExit(ch chan int) int {
+	muA.Lock()
+	defer muA.Unlock()
+	return <-ch // want `lockcheck.muA may be held \(acquired at line 36\) across channel receive`
+}
+
+// branchMayHold locks on only one path; the merge point still may-holds.
+func branchMayHold(ch chan int, cond bool) {
+	if cond {
+		muA.Lock()
+	}
+	ch <- 1 // want `lockcheck.muA may be held \(acquired at line 44\) across channel send`
+	if cond {
+		muA.Unlock()
+	}
+}
+
+// selectNoDefault blocks at the select itself.
+func (s *server) selectNoDefault(done chan struct{}) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	select { // want `server.mu may be held \(acquired at line 54\) across select without default`
+	case s.ch <- 1:
+	case <-done:
+	}
+}
+
+// selectWithDefault never blocks: clean.
+func (s *server) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// joinWhileLocked blocks on a WaitGroup join with the lock held.
+func joinWhileLocked(wg *sync.WaitGroup) {
+	muB.Lock()
+	defer muB.Unlock()
+	wg.Wait() // want `lockcheck.muB may be held \(acquired at line 74\) across WaitGroup.Wait \(join\)`
+}
+
+// sleepWhileLocked stalls every contender for the sleep duration.
+func sleepWhileLocked() {
+	muB.Lock()
+	time.Sleep(time.Millisecond) // want `lockcheck.muB may be held \(acquired at line 81\) across time.Sleep`
+	muB.Unlock()
+}
+
+// onceReported: only the first blocking site per (lock, function) is
+// diagnosed, so one suppression covers the function.
+func onceReported(ch chan int) {
+	muA.Lock()
+	defer muA.Unlock()
+	ch <- 1 // want `lockcheck.muA may be held \(acquired at line 89\) across channel send`
+	ch <- 2
+}
+
+// suppressed documents why holding across the send is safe here.
+func suppressed(ch chan int) {
+	muA.Lock()
+	defer muA.Unlock()
+	//greenvet:lock-ok fixture: buffered channel sized to the worker count
+	ch <- 1
+}
+
+// launchIsNotBlocking: a go statement returns immediately.
+func launchIsNotBlocking(ch chan int) {
+	muA.Lock()
+	go func() { ch <- 1 }()
+	muA.Unlock()
+}
+
+// rangeOverChannel blocks on every iteration's receive.
+func rangeOverChannel(ch chan int) {
+	muB.Lock()
+	defer muB.Unlock()
+	for range ch { // want `lockcheck.muB may be held \(acquired at line 112\) across range over channel`
+	}
+}
+
+// orderAB and orderBA together form an acquisition-order inversion.
+func orderAB() {
+	muA.Lock()
+	muB.Lock() // want `lockcheck.muB acquired while holding lockcheck.muA, but line 128 acquires them in the opposite order`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func orderBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

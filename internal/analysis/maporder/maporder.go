@@ -48,10 +48,12 @@ func run(pass *framework.Pass) error {
 			if !framework.IsMapType(pass.Info.TypeOf(rs.X)) {
 				return true
 			}
-			if pass.Suppressed(rs.Pos(), "ordered") {
+			if orderInsensitive(pass, rs, stack) {
 				return true
 			}
-			if orderInsensitive(pass, rs, stack) {
+			// Consulted only once the finding is definite, so -audit can
+			// equate a matched directive with a live suppression.
+			if pass.Suppressed(rs.Pos(), "ordered") {
 				return true
 			}
 			pass.Reportf(rs.Pos(),

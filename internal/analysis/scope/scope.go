@@ -28,6 +28,37 @@ const AllocationPath = Module + "/internal/allocation"
 // injected, so telemetry runs on a virtual clock in tests).
 const TelemetryPath = Module + "/internal/telemetry"
 
+// TransportPath and ClientPath are the wire layers whose Send/Recv
+// surfaces lockcheck treats as blocking operations.
+const (
+	TransportPath = Module + "/internal/transport"
+	ClientPath    = Module + "/internal/client"
+)
+
+// ErrflowPackages are the live-stack packages errflow audits: the layers
+// where a silently dropped error corrupts a reconfiguration (a failed
+// apply step that looks applied) or wedges a broker (a connection error
+// nobody notices). The deterministic core is excluded — its functions
+// return errors up a single synchronous spine that the equivalence tests
+// exercise directly.
+var ErrflowPackages = []string{
+	Module + "/internal/broker",
+	Module + "/internal/croc",
+	Module + "/internal/deploy",
+	TransportPath,
+}
+
+// IsErrflowTarget reports whether errflow audits the package (or its
+// fixture stand-in).
+func IsErrflowTarget(path string) bool {
+	for _, p := range ErrflowPackages {
+		if path == p {
+			return true
+		}
+	}
+	return path == "fixture/errflow"
+}
+
 // DeterministicPackages are the plan-producing packages: given one broker
 // snapshot they must produce one canonical answer. maporder and nondet
 // enforce their invariants mechanically.

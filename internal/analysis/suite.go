@@ -4,7 +4,10 @@
 package analysis
 
 import (
+	"github.com/greenps/greenps/internal/analysis/errflow"
 	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/hotalloc"
+	"github.com/greenps/greenps/internal/analysis/lockcheck"
 	"github.com/greenps/greenps/internal/analysis/maporder"
 	"github.com/greenps/greenps/internal/analysis/nondet"
 	"github.com/greenps/greenps/internal/analysis/shadow"
@@ -12,7 +15,9 @@ import (
 	"github.com/greenps/greenps/internal/analysis/waitcheck"
 )
 
-// Suite returns every greenvet analyzer in presentation order.
+// Suite returns every greenvet analyzer in presentation order: the
+// AST-pattern checks first, then the CFG/dataflow checks built on
+// internal/analysis/cfg.
 func Suite() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		maporder.Analyzer,
@@ -20,5 +25,8 @@ func Suite() []*framework.Analyzer {
 		statpath.Analyzer,
 		waitcheck.Analyzer,
 		shadow.Analyzer,
+		lockcheck.Analyzer,
+		errflow.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

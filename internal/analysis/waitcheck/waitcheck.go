@@ -46,11 +46,13 @@ func run(pass *framework.Pass) error {
 			if !ok {
 				return true
 			}
-			if pass.Suppressed(gs.Pos(), "goroutine-ok") {
-				return true
-			}
 			body := framework.EnclosingFunc(stack)
 			if body != nil && hasJoin(body) {
+				return true
+			}
+			// Consulted only once the finding is definite, so -audit can
+			// equate a matched directive with a live suppression.
+			if pass.Suppressed(gs.Pos(), "goroutine-ok") {
 				return true
 			}
 			pass.Reportf(gs.Pos(), "goroutine launched without a join in the same function; use parwork.Run/parwork.Group or join with Wait before returning")

@@ -317,6 +317,8 @@ func overlap(a, b *Vector) (lo, hi int, ok bool) {
 }
 
 // AndCount returns |a AND b| over the aligned overlap of the two windows.
+//
+//greenvet:hotpath closeness kernel: evaluated per candidate pair in CRAM's partner scans (E7/E8: millions of calls per run)
 func AndCount(a, b *Vector) int {
 	lo, hi, ok := overlap(a, b)
 	if !ok {
@@ -331,6 +333,8 @@ func AndCount(a, b *Vector) int {
 
 // XorCount returns |a XOR b| counting, per the Gryphon-derived metric,
 // every set bit outside the common window as a difference as well.
+//
+//greenvet:hotpath closeness kernel: evaluated per candidate pair in CRAM's partner scans
 func XorCount(a, b *Vector) int {
 	lo, hi, ok := overlap(a, b)
 	var n int
@@ -348,6 +352,8 @@ func XorCount(a, b *Vector) int {
 }
 
 // AndNotCount returns |a AND NOT b| over a's window (bits of a not in b).
+//
+//greenvet:hotpath closeness kernel: evaluated per candidate pair in CRAM's partner scans
 func AndNotCount(a, b *Vector) int {
 	lo, hi, ok := overlap(a, b)
 	var n int
@@ -364,6 +370,8 @@ func AndNotCount(a, b *Vector) int {
 }
 
 // OrCount returns |a OR b| over the union of the windows.
+//
+//greenvet:hotpath closeness kernel: evaluated per candidate pair in CRAM's partner scans
 func OrCount(a, b *Vector) int {
 	lo, hi, ok := overlap(a, b)
 	var n int
@@ -381,6 +389,8 @@ func OrCount(a, b *Vector) int {
 }
 
 // countOutside counts a's set bits at IDs outside b's window.
+//
+//greenvet:hotpath runs inside every Xor/AndNot/OrCount kernel call
 func countOutside(a, b *Vector) int {
 	lo, hi, ok := overlap(a, b)
 	if !ok {
@@ -398,6 +408,8 @@ func countOutside(a, b *Vector) int {
 
 // countRange counts set bits with IDs in [from, to], clamped to the
 // window, using word-wise popcounts.
+//
+//greenvet:hotpath runs inside every Xor/AndNot/OrCount kernel call
 func (v *Vector) countRange(from, to int) int {
 	if from < v.firstID {
 		from = v.firstID
@@ -413,6 +425,8 @@ func (v *Vector) countRange(from, to int) int {
 
 // countBitRange counts the set bits in the n-bit range starting at bit
 // offset off, via a head/body/tail split over whole words.
+//
+//greenvet:hotpath word-wise popcount walker behind countRange and the summary bounds
 func countBitRange(words []uint64, off, n int) int {
 	i := off / wordBits
 	cnt := 0
@@ -444,6 +458,8 @@ func countBitRange(words []uint64, off, n int) int {
 
 // andCountWords counts bits of aw&bw over the aligned n-bit overlap
 // starting at bit offsets ai and bi.
+//
+//greenvet:hotpath aligned inner word loop of the count kernels
 func andCountWords(aw, bw []uint64, ai, bi, n int) int {
 	i, j := ai/wordBits, bi/wordBits
 	cnt := 0
@@ -470,6 +486,8 @@ func andCountWords(aw, bw []uint64, ai, bi, n int) int {
 
 // orCountWords counts bits of aw|bw over the aligned overlap; see
 // andCountWords.
+//
+//greenvet:hotpath aligned inner word loop of the count kernels
 func orCountWords(aw, bw []uint64, ai, bi, n int) int {
 	i, j := ai/wordBits, bi/wordBits
 	cnt := 0
@@ -496,6 +514,8 @@ func orCountWords(aw, bw []uint64, ai, bi, n int) int {
 
 // xorCountWords counts bits of aw^bw over the aligned overlap; see
 // andCountWords.
+//
+//greenvet:hotpath aligned inner word loop of the count kernels
 func xorCountWords(aw, bw []uint64, ai, bi, n int) int {
 	i, j := ai/wordBits, bi/wordBits
 	cnt := 0
@@ -522,6 +542,8 @@ func xorCountWords(aw, bw []uint64, ai, bi, n int) int {
 
 // andNotCountWords counts bits of aw&^bw over the aligned overlap; see
 // andCountWords.
+//
+//greenvet:hotpath aligned inner word loop of the count kernels
 func andNotCountWords(aw, bw []uint64, ai, bi, n int) int {
 	i, j := ai/wordBits, bi/wordBits
 	cnt := 0
@@ -551,6 +573,8 @@ func andNotCountWords(aw, bw []uint64, ai, bi, n int) int {
 // with extractBits at every step. It is the fallback for overlaps whose
 // sides differ in in-word offset — and the pre-kernel baseline the
 // micro-benchmarks compare the aligned walkers against.
+//
+//greenvet:hotpath misaligned-overlap fallback of the count kernels
 func genericOpCount(a, b *Vector, lo, hi int, op func(x, y uint64) uint64) int {
 	n := 0
 	// Walk the overlap word-by-word in a's coordinates, realigning b.

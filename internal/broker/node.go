@@ -269,21 +269,41 @@ func (n *Node) readPump(p *peer) {
 	}
 }
 
-// dropPeer removes a disconnected peer.
+// dropPeer removes a disconnected peer. It must only be called off the
+// event-loop goroutine: the membership update is enqueued onto the inbox,
+// and the event loop enqueueing against itself deadlocks once the inbox
+// is full (the loop is the sole drainer). The loop's own failure path is
+// dropPeerOnLoop.
 func (n *Node) dropPeer(p *peer) {
+	n.removePeer(p)
+	n.enqueueFn(func() { n.forgetEndpoint(p.ep) })
+}
+
+// dropPeerOnLoop is dropPeer for callers already running on the event
+// loop: Core access is serialized here by construction, so the
+// membership update runs inline instead of round-tripping the inbox.
+func (n *Node) dropPeerOnLoop(p *peer) {
+	n.removePeer(p)
+	n.forgetEndpoint(p.ep)
+}
+
+// removePeer unregisters the connection (if still current) and closes it.
+func (n *Node) removePeer(p *peer) {
 	n.mu.Lock()
 	if cur, ok := n.peers[p.ep.String()]; ok && cur == p {
 		delete(n.peers, p.ep.String())
 	}
 	n.mu.Unlock()
 	_ = p.conn.Close()
-	n.enqueueFn(func() {
-		if p.ep.Kind == KindBroker {
-			n.core.RemoveNeighbor(p.ep.ID)
-		} else {
-			n.core.RemoveClient(p.ep.ID)
-		}
-	})
+}
+
+// forgetEndpoint updates the core's membership. Event-loop only.
+func (n *Node) forgetEndpoint(ep Endpoint) {
+	if ep.Kind == KindBroker {
+		n.core.RemoveNeighbor(ep.ID)
+	} else {
+		n.core.RemoveClient(ep.ID)
+	}
 }
 
 // eventLoop serializes all Core access and ships outgoing messages through
@@ -328,7 +348,11 @@ func (n *Node) send(o Outgoing) {
 	n.inst.LimiterWaitSeconds.ObserveDuration(n.limiter.Wait(o.Env.EncodedSize()))
 	if err := p.conn.Send(o.Env); err != nil {
 		n.logger.Printf("broker %s: send to %s: %v", n.ID(), o.To, err)
-		n.dropPeer(p)
+		// send runs on the event-loop goroutine (eventLoop is its only
+		// caller), so the async dropPeer would enqueue against the very
+		// inbox this goroutine drains — a self-deadlock once the inbox
+		// is full. Run the membership update inline instead.
+		n.dropPeerOnLoop(p)
 	}
 }
 

@@ -131,12 +131,15 @@ func (d *Deployment) AddPublisher(clientID, brokerID string, adv *message.Advert
 		return err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.pubs[adv.ID]; dup {
+		// Close outside the lock: Close flushes the wire and can stall on
+		// a slow peer, and d.mu serializes every deployment accessor.
+		d.mu.Unlock()
 		_ = conn.Close()
 		return fmt.Errorf("deploy: advertisement %q already registered", adv.ID)
 	}
 	d.pubs[adv.ID] = &publisherState{clientID: clientID, adv: adv, conn: conn, broker: brokerID}
+	d.mu.Unlock()
 	return nil
 }
 
@@ -260,12 +263,29 @@ func (d *Deployment) Apply(plan *core.Plan) error {
 // step completes, so a failed apply shows exactly the steps that
 // finished. A nil timeline records nothing.
 func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
+	// Snapshot everything the apply reads under the lock once; the
+	// network steps below run unlocked (dialing and handshaking under
+	// d.mu would stall every concurrent read accessor), and individual
+	// state swaps re-take the lock so PublisherBroker/SubscriberBroker
+	// never observe a torn update.
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return fmt.Errorf("deploy: deployment closed")
 	}
 	oldNodes := d.nodes
+	brokers := make(map[string]broker.NodeConfig, len(d.brokers))
+	for id, cfg := range d.brokers {
+		brokers[id] = cfg
+	}
+	pubs := make(map[string]*publisherState, len(d.pubs))
+	for id, ps := range d.pubs {
+		pubs[id] = ps
+	}
+	subs := make(map[string]*subscriberState, len(d.subs))
+	for id, ss := range d.subs {
+		subs[id] = ss
+	}
 	d.mu.Unlock()
 
 	// 1. Fresh broker instances on new ports, same IDs and capacities.
@@ -278,7 +298,7 @@ func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
 		return err
 	}
 	for _, id := range plan.Tree.Brokers() {
-		cfg, ok := d.brokers[id]
+		cfg, ok := brokers[id]
 		if !ok {
 			return fail(fmt.Errorf("deploy: plan allocates unknown broker %q", id))
 		}
@@ -307,7 +327,7 @@ func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
 		old *client.Client
 	}
 	var swaps []swap
-	for advID, ps := range d.pubs {
+	for advID, ps := range pubs {
 		target, ok := plan.Publishers[advID]
 		if !ok {
 			target = plan.Tree.Root
@@ -320,14 +340,16 @@ func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
 			_ = conn.Close()
 			return fail(err)
 		}
+		d.mu.Lock()
 		swaps = append(swaps, swap{old: ps.conn})
 		ps.conn = conn
 		ps.broker = target
+		d.mu.Unlock()
 	}
 	step()
 	// 4. Reconnect subscribers at their Phase-2/3 assigned brokers.
 	step = tl.StartSpan("apply: reconnect subscribers")
-	for subID, ss := range d.subs {
+	for subID, ss := range subs {
 		target, ok := plan.Subscribers[subID]
 		if !ok {
 			target = plan.Tree.Root
@@ -340,11 +362,13 @@ func (d *Deployment) ApplyTimed(plan *core.Plan, tl *telemetry.Timeline) error {
 			_ = conn.Close()
 			return fail(err)
 		}
-		close(ss.stop) // stop the old pump
+		close(ss.stop) // stop the old pump (joined outside the lock)
 		ss.wg.Wait()
+		d.mu.Lock()
 		old := ss.conn
 		ss.conn = conn
 		ss.broker = target
+		d.mu.Unlock()
 		ss.startPump()
 		swaps = append(swaps, swap{old: old})
 	}

@@ -183,6 +183,7 @@ func (c *Conn) writeFrame(payload []byte) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	//greenvet:lock-ok wmu exists precisely to serialize whole frames onto the socket; the write deadline above bounds any stall, and contenders are other writers to the same dead peer
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return c.writeErr("write header", err)
 	}
