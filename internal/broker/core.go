@@ -16,7 +16,9 @@ package broker
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"github.com/greenps/greenps/internal/matching"
 	"github.com/greenps/greenps/internal/message"
@@ -46,9 +48,29 @@ func (e Endpoint) String() string {
 }
 
 // Outgoing pairs a destination endpoint with the envelope to send there.
+//
+// Publication envelopes are shared, not cloned: every Outgoing fanned out
+// from one handled publication aliases the same envelope (usually the
+// incoming one), and Hops carries the hop count the destination must
+// observe. Consumers apply Hops at the edge — the live transport while
+// encoding the frame, the simulator while enqueueing onto the next link —
+// so the broker core never copies a publication. The aliasing contract:
+// envelopes handed to Handle/HandleBatch may be retained in the returned
+// Outgoings and must be treated as immutable until those are consumed.
 type Outgoing struct {
 	To  Endpoint
 	Env *message.Envelope
+	// Hops is the broker-to-broker hop count the destination observes
+	// for publication envelopes (applied at encode/enqueue time); it is
+	// meaningless for other kinds.
+	Hops int
+}
+
+// Inbound pairs a source endpoint with a received envelope; HandleBatch
+// consumes slices of these.
+type Inbound struct {
+	From Endpoint
+	Env  *message.Envelope
 }
 
 // Clock supplies the broker's notion of elapsed time in seconds; the live
@@ -94,11 +116,29 @@ type Counters struct {
 // Total returns input plus output messages.
 func (c Counters) Total() int { return c.MsgsIn + c.MsgsOut }
 
+// pubScratch is the Core's reusable per-publication working memory: the
+// batch run view and the per-publication fan-out accumulators. Reusing
+// it across publications is what keeps the steady-state publication path
+// allocation-free.
+type pubScratch struct {
+	// one backs the single-message Handle path as a 1-element run.
+	one [1]Inbound
+	// pubs/froms/envs are the current run, indexed alike.
+	pubs  []*message.Publication
+	froms []Endpoint
+	envs  []*message.Envelope
+	// fwdIDs/deliv accumulate the fan-out of the publication currently
+	// being matched: neighbor-broker IDs (deduplicated at flush) and
+	// client endpoints (one entry per matching subscription).
+	fwdIDs []string
+	deliv  []Endpoint
+}
+
 // Core is the synchronous broker state machine. It is not safe for
 // concurrent use; wrap it in a Node for live deployments.
 type Core struct {
 	cfg    Config
-	engine *matching.Engine
+	engine *matching.CountingEngine
 	// subHops maps subscription ID to the endpoint it arrived from.
 	subHops map[string]Endpoint
 	// subForwarded tracks which broker neighbors each subscription was
@@ -111,6 +151,16 @@ type Core struct {
 	counters     Counters
 	// inst is never nil; the zero bundle no-ops.
 	inst *Instruments
+
+	// scratch plus the streaming-flush cursor of the publication run in
+	// progress: runOut is the output slice being grown, runPos the index
+	// of the publication whose matches are accumulating in scratch.
+	scratch pubScratch
+	runOut  []Outgoing
+	runPos  int
+	// batchCb is the MatchBatch callback, bound once so matching a run
+	// allocates no closures.
+	batchCb func(int, *message.Subscription)
 }
 
 // New constructs a Core.
@@ -125,9 +175,9 @@ func New(cfg Config) (*Core, error) {
 	if inst == nil {
 		inst = noopInstruments
 	}
-	return &Core{
+	c := &Core{
 		cfg:          cfg,
-		engine:       matching.NewEngine(),
+		engine:       matching.NewCountingEngine(),
 		subHops:      make(map[string]Endpoint),
 		subForwarded: make(map[string]map[string]bool),
 		advs:         make(map[string]advEntry),
@@ -135,7 +185,15 @@ func New(cfg Config) (*Core, error) {
 		clients:      make(map[string]bool),
 		cbc:          newCBC(cfg.ProfileCapacity, cfg.Clock),
 		inst:         inst,
-	}, nil
+	}
+	c.batchCb = func(i int, sub *message.Subscription) {
+		// MatchBatch reports matches in nondecreasing publication order,
+		// so reaching publication i means everything before it is fully
+		// matched and can be flushed.
+		c.flushThrough(i)
+		c.collectMatch(c.scratch.froms[i], sub)
+	}
+	return c, nil
 }
 
 // ID returns the broker's identifier.
@@ -207,7 +265,8 @@ func (c *Core) Handle(from Endpoint, env *message.Envelope, out []Outgoing) ([]O
 	case message.KindUnsubscription:
 		out, err = c.handleUnsubscription(from, env.UnsubID, out)
 	case message.KindPublication:
-		out = c.handlePublication(from, env.Pub, out)
+		c.scratch.one[0] = Inbound{From: from, Env: env}
+		out = c.handlePublicationRun(c.scratch.one[:], out)
 	case message.KindBIR:
 		out = c.handleBIR(from, env.BIR, out)
 	case message.KindBIA:
@@ -241,9 +300,14 @@ func (c *Core) handleAdvertisement(from Endpoint, adv *message.Advertisement, ou
 		}
 		out = append(out, Outgoing{To: Endpoint{Kind: KindBroker, ID: n}, Env: env})
 	}
-	// Route existing subscriptions toward the new advertisement.
+	// Route existing subscriptions toward the new advertisement, in
+	// sorted ID order: Subscriptions() iterates a map, and emitting in
+	// map order broke the simulator's byte-identical determinism
+	// guarantee (emission order varied run to run).
 	if from.Kind == KindBroker {
-		for _, sub := range c.engine.Subscriptions() {
+		subs := c.engine.Subscriptions()
+		slices.SortFunc(subs, func(a, b *message.Subscription) int { return strings.Compare(a.ID, b.ID) })
+		for _, sub := range subs {
 			if !adv.IntersectsSubscription(sub) {
 				continue
 			}
@@ -355,58 +419,149 @@ func (c *Core) handleUnsubscription(from Endpoint, subID string, out []Outgoing)
 	return out, nil
 }
 
-// handlePublication matches the publication, delivers to local subscribers
-// (one copy each), forwards one copy per neighbor broker with matching
-// subscriptions, and lets the CBC profile everything.
-func (c *Core) handlePublication(from Endpoint, pub *message.Publication, out []Outgoing) []Outgoing {
-	if from.Kind == KindClient {
-		c.cbc.recordPublication(pub)
+// HandleBatch processes a batch of incoming envelopes, appending every
+// message the broker must emit to out and returning out (possibly
+// grown). Runs of consecutive valid publications are matched against the
+// engine in a single pass (amortizing the per-call overhead that
+// dominates one-message-per-call processing); every other envelope is
+// dispatched through Handle. The first error is returned after the whole
+// batch is processed, matching the per-message contract: one bad
+// envelope does not abort its batch.
+//
+// The outputs interleave exactly as N sequential Handle calls would
+// produce them, and all counters/instruments advance identically.
+//
+//greenvet:hotpath the live event loop drains its queue through here; pinned zero-alloc by TestBrokerSteadyStateAllocationFree
+func (c *Core) HandleBatch(msgs []Inbound, out []Outgoing) ([]Outgoing, error) {
+	var firstErr error
+	for i := 0; i < len(msgs); {
+		// Extend the run of valid publications starting at i. Invalid
+		// publications fall through to Handle, which reports the error.
+		j := i
+		for j < len(msgs) && msgs[j].Env.Kind == message.KindPublication && msgs[j].Env.Validate() == nil {
+			j++
+		}
+		if j > i {
+			before := len(out)
+			for k := i; k < j; k++ {
+				sz := msgs[k].Env.EncodedSize()
+				c.counters.MsgsIn++
+				c.counters.BytesIn += sz
+				c.inst.MsgsIn.Inc()
+				c.inst.BytesIn.Add(int64(sz))
+			}
+			out = c.handlePublicationRun(msgs[i:j], out)
+			for _, o := range out[before:] {
+				sz := o.Env.EncodedSize()
+				c.counters.MsgsOut++
+				c.counters.BytesOut += sz
+				c.inst.MsgsOut.Inc()
+				c.inst.BytesOut.Add(int64(sz))
+			}
+			i = j
+			continue
+		}
+		var err error
+		out, err = c.Handle(msgs[i].From, msgs[i].Env, out)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		i++
 	}
-	brokerTargets := make(map[string]bool)
-	var clientTargets []Endpoint
-	c.engine.MatchFunc(pub, func(sub *message.Subscription) {
-		hop, ok := c.subHops[sub.ID]
-		if !ok {
+	return out, firstErr
+}
+
+// handlePublicationRun matches a run of publications against the engine
+// in one pass, flushing each publication's fan-out as soon as the
+// matcher moves past it. Callers account MsgsIn/MsgsOut around it.
+//
+//greenvet:hotpath every publication through a live broker passes here; per-message allocations multiply by the publication rate
+func (c *Core) handlePublicationRun(msgs []Inbound, out []Outgoing) []Outgoing {
+	s := &c.scratch
+	s.pubs = s.pubs[:0]
+	s.froms = s.froms[:0]
+	s.envs = s.envs[:0]
+	for k := range msgs {
+		s.pubs = append(s.pubs, msgs[k].Env.Pub)
+		s.froms = append(s.froms, msgs[k].From)
+		s.envs = append(s.envs, msgs[k].Env)
+		if msgs[k].From.Kind == KindClient {
+			c.cbc.recordPublication(msgs[k].Env.Pub)
+		}
+	}
+	s.fwdIDs = s.fwdIDs[:0]
+	s.deliv = s.deliv[:0]
+	c.runOut = out
+	c.runPos = 0
+	c.engine.MatchBatch(s.pubs, c.batchCb)
+	c.flushThrough(len(s.pubs))
+	out = c.runOut
+	c.runOut = nil
+	return out
+}
+
+// collectMatch records one matching subscription of the publication at
+// the run cursor: neighbor-broker last hops accumulate as forward
+// targets (skipping the link the publication arrived on), client last
+// hops as deliveries.
+//
+//greenvet:hotpath called once per matching subscription per publication
+func (c *Core) collectMatch(from Endpoint, sub *message.Subscription) {
+	hop, ok := c.subHops[sub.ID]
+	if !ok {
+		return
+	}
+	switch hop.Kind {
+	case KindBroker:
+		if from.Kind == KindBroker && hop.ID == from.ID {
 			return
 		}
-		switch hop.Kind {
-		case KindBroker:
-			if from.Kind == KindBroker && hop.ID == from.ID {
-				return
-			}
-			brokerTargets[hop.ID] = true
-		case KindClient:
-			clientTargets = append(clientTargets, hop)
-			c.cbc.recordDelivery(sub.ID, pub)
-		}
-	})
-	if len(brokerTargets) > 0 || len(clientTargets) > 0 {
+		c.scratch.fwdIDs = append(c.scratch.fwdIDs, hop.ID)
+	case KindClient:
+		c.scratch.deliv = append(c.scratch.deliv, hop)
+		c.cbc.recordDelivery(sub.ID, c.scratch.pubs[c.runPos])
+	}
+}
+
+// flushThrough emits the accumulated fan-out of every publication before
+// run index i and advances the cursor, resetting the accumulators for
+// the next publication.
+//
+//greenvet:hotpath run-cursor advance of the batch publication path
+func (c *Core) flushThrough(i int) {
+	for c.runPos < i {
+		c.flushPublication()
+		c.runPos++
+		c.scratch.fwdIDs = c.scratch.fwdIDs[:0]
+		c.scratch.deliv = c.scratch.deliv[:0]
+	}
+}
+
+// flushPublication turns the scratch accumulators into Outgoings for the
+// publication at the run cursor: broker targets deduplicated and sorted,
+// client targets sorted (one delivery per matching subscription, as
+// before), all sharing the incoming envelope with the hop count carried
+// in Outgoing.Hops per the aliasing contract.
+//
+//greenvet:hotpath fan-out emission of the batch publication path
+func (c *Core) flushPublication() {
+	s := &c.scratch
+	env := s.envs[c.runPos]
+	pub := s.pubs[c.runPos]
+	slices.Sort(s.fwdIDs)
+	s.fwdIDs = slices.Compact(s.fwdIDs)
+	slices.SortFunc(s.deliv, func(a, b Endpoint) int { return strings.Compare(a.ID, b.ID) })
+	if len(s.fwdIDs) > 0 || len(s.deliv) > 0 {
 		c.inst.PubsMatched.Inc()
 	} else {
 		c.inst.PubsUnmatched.Inc()
 	}
-	c.inst.PubsForwarded.Add(int64(len(brokerTargets)))
-	c.inst.PubsDelivered.Add(int64(len(clientTargets)))
-	// One copy per neighbor broker, hop count incremented.
-	ids := make([]string, 0, len(brokerTargets))
-	for id := range brokerTargets {
-		ids = append(ids, id)
+	c.inst.PubsForwarded.Add(int64(len(s.fwdIDs)))
+	c.inst.PubsDelivered.Add(int64(len(s.deliv)))
+	for _, id := range s.fwdIDs {
+		c.runOut = append(c.runOut, Outgoing{To: Endpoint{Kind: KindBroker, ID: id}, Env: env, Hops: pub.Hops + 1})
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		fwd := pub.Clone()
-		fwd.Hops++
-		out = append(out, Outgoing{
-			To:  Endpoint{Kind: KindBroker, ID: id},
-			Env: &message.Envelope{Kind: message.KindPublication, Pub: fwd},
-		})
+	for _, cl := range s.deliv {
+		c.runOut = append(c.runOut, Outgoing{To: cl, Env: env, Hops: pub.Hops})
 	}
-	sort.Slice(clientTargets, func(i, j int) bool { return clientTargets[i].ID < clientTargets[j].ID })
-	for _, cl := range clientTargets {
-		out = append(out, Outgoing{
-			To:  cl,
-			Env: &message.Envelope{Kind: message.KindPublication, Pub: pub.Clone()},
-		})
-	}
-	return out
 }

@@ -39,9 +39,36 @@ type Node struct {
 	mu    sync.Mutex
 	peers map[string]*peer // endpoint string -> peer
 
+	// Event-loop-only batching state (no locking): pool backs frame
+	// buffers on both directions, fenc encodes each unique
+	// (envelope, hops) pair once per flush, frameMemo remembers those
+	// encodings across a fan-out, groups/groupIdx bucket a flush's
+	// outgoings per destination preserving first-touch order.
+	pool      *transport.BufPool
+	fenc      *transport.FrameEncoder
+	frameMemo map[frameKey][]byte
+	groups    []sendGroup
+	groupIdx  map[string]int
+	outBuf    []Outgoing
+
 	wg      sync.WaitGroup
 	closing chan struct{}
 	once    sync.Once
+}
+
+// frameKey identifies one encoded frame within a flush: the shared
+// envelope plus the hop count materialized into it.
+type frameKey struct {
+	env  *message.Envelope
+	hops int
+}
+
+// sendGroup is one destination's share of a flush.
+type sendGroup struct {
+	p      *peer
+	frames [][]byte
+	// bytes is the EncodedSize sum, what the bandwidth limiter charges.
+	bytes int
 }
 
 // inboundMsg is one queued event: either a message to handle or a control
@@ -120,6 +147,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if depth <= 0 {
 		depth = 1024
 	}
+	pool := transport.NewBufPool()
 	n := &Node{
 		core:         core,
 		listener:     l,
@@ -130,6 +158,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		writeTimeout: cfg.WriteTimeout,
 		inbox:        make(chan inboundMsg, depth),
 		peers:        make(map[string]*peer),
+		pool:         pool,
+		fenc:         transport.NewFrameEncoder(pool),
+		frameMemo:    make(map[frameKey][]byte),
+		groupIdx:     make(map[string]int),
 		closing:      make(chan struct{}),
 	}
 	n.wg.Add(2)
@@ -214,6 +246,7 @@ func (n *Node) registerPeer(ep Endpoint, conn *transport.Conn) {
 	// the event loop (the handshake frames are not counted).
 	conn.SetInstruments(n.tinst)
 	conn.SetWriteTimeout(n.writeTimeout)
+	conn.SetBufferPool(n.pool)
 	p := &peer{ep: ep, conn: conn}
 	n.mu.Lock()
 	if old, ok := n.peers[ep.String()]; ok {
@@ -276,7 +309,7 @@ func (n *Node) readPump(p *peer) {
 // dropPeerOnLoop.
 func (n *Node) dropPeer(p *peer) {
 	n.removePeer(p)
-	n.enqueueFn(func() { n.forgetEndpoint(p.ep) })
+	n.enqueueFn(func() { n.forgetIfDisconnected(p.ep) })
 }
 
 // dropPeerOnLoop is dropPeer for callers already running on the event
@@ -284,7 +317,7 @@ func (n *Node) dropPeer(p *peer) {
 // membership update runs inline instead of round-tripping the inbox.
 func (n *Node) dropPeerOnLoop(p *peer) {
 	n.removePeer(p)
-	n.forgetEndpoint(p.ep)
+	n.forgetIfDisconnected(p.ep)
 }
 
 // removePeer unregisters the connection (if still current) and closes it.
@@ -297,8 +330,20 @@ func (n *Node) removePeer(p *peer) {
 	_ = p.conn.Close()
 }
 
-// forgetEndpoint updates the core's membership. Event-loop only.
-func (n *Node) forgetEndpoint(ep Endpoint) {
+// forgetIfDisconnected updates the core's membership only when the
+// endpoint has no live connection. The guard closes the reconnect
+// membership race: when a peer reconnects, registerPeer replaces the
+// table entry and closes the old connection, whose dying readPump then
+// enqueues this forget — which, unconditional, would deregister the
+// *new* link's neighbor/client registration and silently stop routing
+// to a connected peer. Event-loop only.
+func (n *Node) forgetIfDisconnected(ep Endpoint) {
+	n.mu.Lock()
+	_, connected := n.peers[ep.String()]
+	n.mu.Unlock()
+	if connected {
+		return
+	}
 	if ep.Kind == KindBroker {
 		n.core.RemoveNeighbor(ep.ID)
 	} else {
@@ -306,37 +351,149 @@ func (n *Node) forgetEndpoint(ep Endpoint) {
 	}
 }
 
-// eventLoop serializes all Core access and ships outgoing messages through
-// the bandwidth limiter.
+// maxEventBatch bounds how many queued envelopes one event-loop wakeup
+// drains into a single HandleBatch call: large enough to amortize the
+// per-wakeup and per-flush overhead under load, small enough to keep
+// the loop responsive to control closures and shutdown.
+const maxEventBatch = 256
+
+// eventLoop serializes all Core access: each wakeup drains the inbox
+// (up to maxEventBatch envelopes) into one HandleBatch call, then ships
+// the emitted messages as gathered per-peer frame batches through the
+// bandwidth limiter. Control closures act as barriers — the batch
+// accumulated so far is handled and flushed before the closure runs, so
+// closures observe exactly the state N sequential Handle calls would
+// have produced.
 func (n *Node) eventLoop() {
 	defer n.wg.Done()
-	var out []Outgoing
+	var batch []Inbound
 	for {
 		select {
 		case <-n.closing:
 			return
 		case m := <-n.inbox:
+			batch = batch[:0]
+			for {
+				if m.envFn != nil {
+					batch = n.handleAndFlush(batch)
+					m.envFn()
+				} else {
+					batch = append(batch, Inbound{From: m.from, Env: m.env})
+					if len(batch) >= maxEventBatch {
+						break
+					}
+				}
+				more := false
+				select {
+				case m = <-n.inbox:
+					more = true
+				default:
+				}
+				if !more {
+					break
+				}
+			}
 			n.inst.QueueDepth.Set(int64(len(n.inbox)))
-			if m.envFn != nil {
-				m.envFn()
-				continue
-			}
-			out = out[:0]
-			var err error
-			out, err = n.core.Handle(m.from, m.env, out)
-			if err != nil {
-				n.logger.Printf("broker %s: handle %v from %s: %v", n.ID(), m.env.Kind, m.from, err)
-			}
-			for _, o := range out {
-				n.send(o)
-			}
+			batch = n.handleAndFlush(batch)
 		}
 	}
 }
 
-// send throttles and transmits one outgoing message; unreachable peers are
-// logged and skipped (the link-failure path is the overlay manager's
+// handleAndFlush runs one drained batch through the core and transmits
+// everything it emitted, returning the batch slice truncated for reuse.
+//
+//greenvet:hotpath every drained batch passes here
+func (n *Node) handleAndFlush(batch []Inbound) []Inbound {
+	if len(batch) == 0 {
+		return batch
+	}
+	out, err := n.core.HandleBatch(batch, n.outBuf[:0])
+	n.outBuf = out
+	if err != nil {
+		//greenvet:alloc-ok only malformed envelopes reach this log line, and the batch still flushes below — off the steady-state path
+		n.logger.Printf("broker %s: handle batch: %v", n.ID(), err)
+	}
+	n.flushOutgoing(out)
+	return batch[:0]
+}
+
+// flushOutgoing groups a batch's outgoing messages per destination
+// (first-touch order), encodes each unique (envelope, hops) pair once —
+// so a publication fanned out to many neighbors is serialized a single
+// time — and writes each destination's frames in one gathered writev.
+// Pooled encode buffers are released only after every group's write
+// finished, since groups share frames. Unreachable peers are logged and
+// skipped (the link-failure path is the overlay manager's
 // responsibility, as in PADRES).
+func (n *Node) flushOutgoing(outs []Outgoing) {
+	if len(outs) == 0 {
+		return
+	}
+	for _, o := range outs {
+		key := o.To.String()
+		gi, ok := n.groupIdx[key]
+		if !ok {
+			n.mu.Lock()
+			p, up := n.peers[key]
+			n.mu.Unlock()
+			if !up {
+				n.logger.Printf("broker %s: no connection to %s", n.ID(), o.To)
+				continue
+			}
+			gi = len(n.groups)
+			if gi < cap(n.groups) {
+				n.groups = n.groups[:gi+1]
+				n.groups[gi].p = p
+				n.groups[gi].frames = n.groups[gi].frames[:0]
+				n.groups[gi].bytes = 0
+			} else {
+				n.groups = append(n.groups, sendGroup{p: p})
+			}
+			n.groupIdx[key] = gi
+		}
+		fk := frameKey{env: o.Env, hops: o.Hops}
+		frame, ok := n.frameMemo[fk]
+		if !ok {
+			var err error
+			frame, err = n.fenc.Encode(o.Env, o.Hops)
+			if err != nil {
+				n.logger.Printf("broker %s: encode for %s: %v", n.ID(), o.To, err)
+				continue
+			}
+			n.frameMemo[fk] = frame
+		}
+		g := &n.groups[gi]
+		g.frames = append(g.frames, frame)
+		g.bytes += o.Env.EncodedSize()
+	}
+	for i := range n.groups {
+		g := &n.groups[i]
+		if len(g.frames) == 0 {
+			continue
+		}
+		n.inst.LimiterWaitSeconds.ObserveDuration(n.limiter.Wait(g.bytes))
+		if err := g.p.conn.SendFrames(g.frames); err != nil {
+			n.logger.Printf("broker %s: send to %s: %v", n.ID(), g.p.ep, err)
+			// flushOutgoing runs on the event-loop goroutine, so the
+			// async dropPeer would enqueue against the very inbox this
+			// goroutine drains — a self-deadlock once the inbox is
+			// full. Run the membership update inline instead.
+			n.dropPeerOnLoop(g.p)
+		}
+	}
+	n.fenc.Release()
+	clear(n.frameMemo)
+	clear(n.groupIdx)
+	for i := range n.groups {
+		n.groups[i].p = nil
+		n.groups[i].frames = n.groups[i].frames[:0]
+	}
+	n.groups = n.groups[:0]
+}
+
+// send throttles and transmits one outgoing message, applying the
+// carried hop count at encode time. It is the single-message form of
+// flushOutgoing, kept for the few non-batched call sites and tests.
 func (n *Node) send(o Outgoing) {
 	n.mu.Lock()
 	p, ok := n.peers[o.To.String()]
@@ -346,12 +503,12 @@ func (n *Node) send(o Outgoing) {
 		return
 	}
 	n.inst.LimiterWaitSeconds.ObserveDuration(n.limiter.Wait(o.Env.EncodedSize()))
-	if err := p.conn.Send(o.Env); err != nil {
+	if err := p.conn.SendWithHops(o.Env, o.Hops); err != nil {
 		n.logger.Printf("broker %s: send to %s: %v", n.ID(), o.To, err)
-		// send runs on the event-loop goroutine (eventLoop is its only
-		// caller), so the async dropPeer would enqueue against the very
-		// inbox this goroutine drains — a self-deadlock once the inbox
-		// is full. Run the membership update inline instead.
+		// send runs on the event-loop goroutine, so the async dropPeer
+		// would enqueue against the very inbox this goroutine drains —
+		// a self-deadlock once the inbox is full. Run the membership
+		// update inline instead.
 		n.dropPeerOnLoop(p)
 	}
 }

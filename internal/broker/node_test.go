@@ -138,3 +138,62 @@ func TestNodeDuplicatePeerReplaced(t *testing.T) {
 		t.Fatal("replacement connection starved")
 	}
 }
+
+// TestNodeBrokerReconnectKeepsForwarding is the regression test for the
+// reconnect membership race: when a neighbor broker reconnects,
+// registerPeer replaces the connection table entry and closes the old
+// connection — whose dying readPump then enqueues a membership forget.
+// Unconditional, that forget deregistered the *new* link's neighbor
+// registration from the core, so advertisement floods (and with them
+// subscription routing and publication forwarding) silently skipped a
+// connected neighbor. The forget must be a no-op while the endpoint has
+// a live connection.
+func TestNodeBrokerReconnectKeepsForwarding(t *testing.T) {
+	b1 := startNode(t, "B1")
+	b2 := startNode(t, "B2")
+	if err := b2.ConnectNeighbor(b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Reconnect: both ends replace their broker peer entry and close the
+	// old link, racing its death notifications against the new link's
+	// registration.
+	if err := b2.ConnectNeighbor(b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Route fresh state across the (reconnected) link: an advertisement
+	// at B1 must flood to B2, B2's subscriber must route back to B1, and
+	// the publication must be forwarded over to B2.
+	sub, err := client.Connect("sub1", b2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sub.Close() }()
+	pub, err := client.Connect("pub1", b1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	if err := pub.Advertise(message.NewAdvertisement("A-rc", "pub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := sub.Subscribe(message.NewSubscription("s-rc", "sub1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := pub.Publish("A-rc", map[string]message.Value{"x": message.Number(1)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-sub.Publications():
+		if d.Hops != 1 {
+			t.Fatalf("delivered with %d hops, want 1", d.Hops)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("publication never crossed the reconnected broker link")
+	}
+}

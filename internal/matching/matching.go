@@ -15,6 +15,7 @@ package matching
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"github.com/greenps/greenps/internal/message"
@@ -108,8 +109,17 @@ func (e *Engine) Add(sub *message.Subscription) error {
 	return nil
 }
 
+// autoCompactMinTombstones is the floor below which Remove never
+// triggers an automatic Compact: small tables rebuild so cheaply that
+// compacting on every removal would be pure overhead, while large ones
+// must not let dead postings outnumber live entries.
+const autoCompactMinTombstones = 64
+
 // Remove drops a subscription by ID. Its posting entry is tombstoned and
-// skipped during matching; Compact purges tombstones.
+// skipped during matching; once tombstones outnumber live entries (and
+// exceed a floor that keeps small tables from thrashing) the engine
+// compacts itself, so sustained churn cannot degrade MatchFunc
+// unboundedly.
 func (e *Engine) Remove(subID string) error {
 	idx, ok := e.byID[subID]
 	if !ok {
@@ -119,6 +129,9 @@ func (e *Engine) Remove(subID string) error {
 	e.entries[idx].live = false
 	e.entries[idx].sub = nil
 	e.tombstones++
+	if e.tombstones >= autoCompactMinTombstones && e.tombstones > len(e.byID) {
+		e.Compact()
+	}
 	return nil
 }
 
@@ -126,13 +139,20 @@ func (e *Engine) Remove(subID string) error {
 func (e *Engine) Tombstones() int { return e.tombstones }
 
 // Compact rebuilds the index, dropping tombstones. Brokers call it after
-// bulk unsubscriptions (e.g. during reconfiguration).
+// bulk unsubscriptions (e.g. during reconfiguration). Live subscriptions
+// are re-added in sorted ID order so the rebuilt access-predicate choice
+// is identical across runs, and the match counter survives the rebuild
+// (it used to be silently zeroed, wiping broker matching metrics after
+// every reconfiguration).
 func (e *Engine) Compact() {
 	subs := make([]*message.Subscription, 0, len(e.byID))
 	for _, idx := range e.byID {
 		subs = append(subs, e.entries[idx].sub)
 	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].ID < subs[j].ID })
+	matchCount := e.matchCount
 	*e = *NewEngine()
+	e.matchCount = matchCount
 	for _, s := range subs {
 		// Re-adding into a fresh engine cannot collide.
 		if err := e.Add(s); err != nil {

@@ -46,15 +46,26 @@ func (b *BrokerInfo) UnpackProfiles() error {
 	return nil
 }
 
-// Encode serializes an envelope to JSON, packing any embedded profiles.
-func Encode(e *Envelope) ([]byte, error) {
+// PreEncode validates the envelope and packs any embedded profiles,
+// preparing it for direct JSON serialization. Encode calls it
+// internally; streaming encoders that marshal the envelope themselves
+// (e.g. the transport's frame encoder) must call it first.
+func PreEncode(e *Envelope) error {
 	if err := e.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if e.Kind == KindBIA && e.BIA != nil {
 		for i := range e.BIA.Infos {
 			e.BIA.Infos[i].PackProfiles()
 		}
+	}
+	return nil
+}
+
+// Encode serializes an envelope to JSON, packing any embedded profiles.
+func Encode(e *Envelope) ([]byte, error) {
+	if err := PreEncode(e); err != nil {
+		return nil, err
 	}
 	data, err := json.Marshal(e)
 	if err != nil {

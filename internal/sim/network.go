@@ -209,6 +209,15 @@ func (n *Network) Drain() error {
 		for _, o := range outs {
 			nq := queued{from: self, env: o.Env, path: path}
 			if o.Env.Kind == message.KindPublication {
+				// The core emits shared publication envelopes with the
+				// hop count carried in Outgoing.Hops (see broker.Outgoing);
+				// materialize it here, at enqueue time, copying only when
+				// the count actually differs.
+				if o.Env.Pub.Hops != o.Hops {
+					pubCopy := *o.Env.Pub
+					pubCopy.Hops = o.Hops
+					nq.env = &message.Envelope{Kind: message.KindPublication, Pub: &pubCopy}
+				}
 				nq.delay = arrivalDelay + float64(o.Env.EncodedSize())/bw
 				if o.To.Kind == broker.KindBroker {
 					nq.delay += n.LinkLatency

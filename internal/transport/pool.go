@@ -1,0 +1,109 @@
+package transport
+
+import "sync"
+
+// BufPool recycles frame payload buffers through per-size-class
+// freelists, the fixed-block-cache idiom: Get hands out a buffer whose
+// capacity is the smallest class covering the request, Put returns it.
+// Lifetimes are explicit — a buffer is owned by exactly one holder
+// between Get and Put, and using it after Put is a bug the same way
+// use-after-free is. The broker's receive path Gets one buffer per
+// frame and Puts it back as soon as the frame is decoded; the send path
+// Gets encode buffers and Puts them after the gathered write completes.
+//
+// Each class is bounded, so a burst leaves at most poolMaxPerClass
+// buffers per class cached; everything beyond that falls back to the
+// allocator and is dropped on Put. Requests larger than the biggest
+// class (64 KiB) are served by plain allocation and never pooled —
+// oversized frames (BIA floods) are rare and shouldn't pin memory.
+type BufPool struct {
+	mu      sync.Mutex
+	classes [poolClasses][][]byte
+
+	// stats, guarded by mu.
+	gets int64 // total Get calls
+	hits int64 // Gets served from a freelist
+	puts int64 // total Put calls
+	drop int64 // Puts dropped (full class or unpooled size)
+}
+
+const (
+	// poolMinShift sizes the smallest class at 1<<poolMinShift bytes.
+	poolMinShift = 8 // 256 B
+	// poolClasses spans 256 B .. 64 KiB in power-of-two steps.
+	poolClasses = 9
+	// poolMaxPerClass bounds each freelist.
+	poolMaxPerClass = 64
+)
+
+// NewBufPool returns an empty pool.
+func NewBufPool() *BufPool { return &BufPool{} }
+
+// classFor returns the index of the smallest class whose buffers hold n
+// bytes, or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	size := 1 << poolMinShift
+	for c := 0; c < poolClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// Get returns a buffer of length n. Its capacity is the full class size,
+// so append within the class never reallocates. The caller owns the
+// buffer until Put.
+func (p *BufPool) Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		p.mu.Lock()
+		p.gets++
+		p.mu.Unlock()
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	p.gets++
+	if fl := p.classes[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		fl[len(fl)-1] = nil
+		p.classes[c] = fl[:len(fl)-1]
+		p.hits++
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<(poolMinShift+c))
+}
+
+// Put returns a buffer obtained from Get. Buffers whose capacity is not
+// an exact class size (oversized allocations, foreign buffers) and
+// buffers arriving at a full class are dropped for the allocator to
+// reclaim. nil is a no-op.
+func (p *BufPool) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classFor(cap(b))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.puts++
+	if c < 0 || cap(b) != 1<<(poolMinShift+c) || len(p.classes[c]) >= poolMaxPerClass {
+		p.drop++
+		return
+	}
+	p.classes[c] = append(p.classes[c], b)
+}
+
+// PoolStats is a point-in-time snapshot of a BufPool's traffic.
+type PoolStats struct {
+	Gets, Hits, Puts, Drops int64
+}
+
+// Stats snapshots the pool counters.
+func (p *BufPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Gets: p.gets, Hits: p.hits, Puts: p.puts, Drops: p.drop}
+}

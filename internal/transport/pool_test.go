@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"github.com/greenps/greenps/internal/message"
+)
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	p := NewBufPool()
+	b := p.Get(100)
+	if len(b) != 100 || cap(b) != 256 {
+		t.Fatalf("Get(100): len %d cap %d, want 100/256", len(b), cap(b))
+	}
+	p.Put(b)
+	b2 := p.Get(200)
+	if cap(b2) != 256 {
+		t.Fatalf("Get(200) after Put: cap %d, want the recycled 256", cap(b2))
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want gets=2 hits=1 puts=1", st)
+	}
+}
+
+func TestBufPoolSizeClasses(t *testing.T) {
+	p := NewBufPool()
+	for _, n := range []int{0, 1, 256, 257, 4096, 65536} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len %d", n, len(b))
+		}
+		if n > 0 && cap(b)&(cap(b)-1) != 0 {
+			t.Fatalf("Get(%d): cap %d not a power of two", n, cap(b))
+		}
+		p.Put(b)
+	}
+	// Oversized requests bypass the pool entirely.
+	big := p.Get(1 << 20)
+	if len(big) != 1<<20 {
+		t.Fatalf("oversized Get: len %d", len(big))
+	}
+	p.Put(big)
+	if st := p.Stats(); st.Drops == 0 {
+		t.Fatalf("oversized Put not dropped: %+v", st)
+	}
+}
+
+func TestBufPoolBounded(t *testing.T) {
+	p := NewBufPool()
+	bufs := make([][]byte, poolMaxPerClass+10)
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	st := p.Stats()
+	if st.Drops != 10 {
+		t.Fatalf("drops = %d, want 10 (class bounded at %d)", st.Drops, poolMaxPerClass)
+	}
+}
+
+// TestSendFramesRoundTrip gathers several frames into one write and
+// verifies they arrive as distinct, correctly framed envelopes.
+func TestSendFramesRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer func() { _ = ca.Close(); _ = cb.Close() }()
+
+	var frames [][]byte
+	for i := 0; i < 5; i++ {
+		env := &message.Envelope{Kind: message.KindPublication,
+			Pub: message.NewPublication("A", i, map[string]message.Value{"x": message.Number(float64(i))})}
+		data, err := message.Encode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, data)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- ca.SendFrames(frames) }()
+	for i := 0; i < 5; i++ {
+		env, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind != message.KindPublication || env.Pub.Seq != i {
+			t.Fatalf("frame %d: got kind %v seq %d", i, env.Kind, env.Pub.Seq)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.SendFrames(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestFrameEncoderHopsOverride verifies the encoder materializes the
+// carried hop count into the wire form without mutating the shared
+// envelope, memoizing nothing itself (callers do), and recycles buffers
+// on Release.
+func TestFrameEncoderHopsOverride(t *testing.T) {
+	pool := NewBufPool()
+	fe := NewFrameEncoder(pool)
+	pub := message.NewPublication("A", 1, map[string]message.Value{"x": message.Number(1)})
+	pub.Hops = 2
+	env := &message.Envelope{Kind: message.KindPublication, Pub: pub}
+
+	raw, err := fe.Encode(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := message.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Pub.Hops != 5 {
+		t.Fatalf("decoded hops = %d, want 5", dec.Pub.Hops)
+	}
+	if pub.Hops != 2 {
+		t.Fatalf("shared envelope mutated: hops = %d, want 2", pub.Hops)
+	}
+	same, err := fe.Encode(env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := message.Decode(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Pub.Hops != 2 {
+		t.Fatalf("decoded hops = %d, want 2", dec2.Pub.Hops)
+	}
+	fe.Release()
+	if st := pool.Stats(); st.Puts != 2 {
+		t.Fatalf("Release returned %d buffers, want 2", st.Puts)
+	}
+}
+
+// TestFrameEncoderMatchesEncode pins the frame encoder's output to
+// message.Encode byte for byte (no trailing newline, identical JSON).
+func TestFrameEncoderMatchesEncode(t *testing.T) {
+	fe := NewFrameEncoder(nil)
+	envs := []*message.Envelope{
+		{Kind: message.KindPublication, Pub: message.NewPublication("A", 9, map[string]message.Value{"s": message.String("x")})},
+		{Kind: message.KindSubscription, Sub: message.NewSubscription("s1", "c1", nil)},
+		{Kind: message.KindUnsubscription, UnsubID: "s1"},
+	}
+	for _, env := range envs {
+		want, err := message.Encode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fe.Encode(env, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("kind %v: frame encoder %q != Encode %q", env.Kind, got, want)
+		}
+	}
+	fe.Release()
+}

@@ -103,20 +103,29 @@ func NewInstruments(r *telemetry.Registry) *Instruments {
 	}
 }
 
-// Conn is a framed connection. Send is safe for concurrent use; Recv must
-// be called from a single goroutine. SetWriteTimeout and SetInstruments
-// configure the connection and must be called before it is shared.
+// Conn is a framed connection. Send/SendFrames are safe for concurrent
+// use; Recv must be called from a single goroutine. SetWriteTimeout,
+// SetInstruments, and SetBufferPool configure the connection and must be
+// called before it is shared.
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
 
 	wmu sync.Mutex
-	w   *bufio.Writer
+	// hdr/hdrs/iov are writev scratch, guarded by wmu: hdr frames single
+	// sends, hdrs is the header arena for gathered sends, iov the vector
+	// handed to the kernel. They persist so steady-state writes allocate
+	// nothing.
+	hdr  [4]byte
+	hdrs []byte
+	iov  net.Buffers
 
 	// writeTimeout bounds each frame write (0 = no deadline).
 	writeTimeout time.Duration
 	// inst is never nil; the zero bundle no-ops.
 	inst *Instruments
+	// pool recycles receive payload buffers; never nil.
+	pool *BufPool
 
 	closeOnce sync.Once
 	closeErr  error
@@ -125,13 +134,20 @@ type Conn struct {
 // noopInstruments is the shared disabled bundle.
 var noopInstruments = &Instruments{}
 
-// NewConn wraps an established net.Conn.
+// defaultPool serves connections that don't get an explicit pool. Safe
+// as a process-wide default because receive buffers live only between
+// readFrame and the end of Recv.
+var defaultPool = NewBufPool()
+
+// NewConn wraps an established net.Conn. Frames are written straight to
+// the socket as gathered (header+payload) vectors — there is no write
+// buffer to flush and no intermediate copy.
 func NewConn(nc net.Conn) *Conn {
 	return &Conn{
 		nc:   nc,
 		r:    bufio.NewReaderSize(nc, 1<<16),
-		w:    bufio.NewWriterSize(nc, 1<<16),
 		inst: noopInstruments,
+		pool: defaultPool,
 	}
 }
 
@@ -148,6 +164,16 @@ func (c *Conn) SetInstruments(in *Instruments) {
 		in = noopInstruments
 	}
 	c.inst = in
+}
+
+// SetBufferPool makes the connection draw receive payload buffers from
+// p (nil restores the package default). Call before the connection is
+// shared.
+func (c *Conn) SetBufferPool(p *BufPool) {
+	if p == nil {
+		p = defaultPool
+	}
+	c.pool = p
 }
 
 // Dial connects to a listener.
@@ -168,8 +194,10 @@ func (c *Conn) Close() error {
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
 
-// writeFrame sends one length-prefixed payload, bounded by the write
-// timeout when one is configured.
+// writeFrame sends one length-prefixed payload as a single gathered
+// (header, payload) vector — writev on TCP — bounded by the write
+// timeout when one is configured. The payload is handed to the kernel
+// directly: no intermediate buffer copy.
 func (c *Conn) writeFrame(payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
@@ -181,20 +209,61 @@ func (c *Conn) writeFrame(payload []byte) error {
 			return fmt.Errorf("transport: set write deadline: %w", err)
 		}
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	//greenvet:lock-ok wmu exists precisely to serialize whole frames onto the socket; the write deadline above bounds any stall, and contenders are other writers to the same dead peer
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return c.writeErr("write header", err)
-	}
-	if _, err := c.w.Write(payload); err != nil {
-		return c.writeErr("write payload", err)
-	}
-	if err := c.w.Flush(); err != nil {
-		return c.writeErr("flush", err)
+	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(payload)))
+	c.iov = append(c.iov[:0], c.hdr[:], payload)
+	iov := c.iov
+	if _, err := iov.WriteTo(c.nc); err != nil {
+		return c.writeErr("write frame", err)
 	}
 	c.inst.FramesSent.Inc()
 	c.inst.BytesSent.Add(int64(len(payload)) + 4)
+	return nil
+}
+
+// SendFrames writes many already-encoded frame payloads as one gathered
+// vector: every header and payload lands in a single writev (chunked by
+// the kernel as needed), so a fan-out or a drained batch costs one
+// syscall instead of one per frame. Payloads must each fit MaxFrameSize;
+// the caller keeps ownership and may recycle them once SendFrames
+// returns. An empty batch is a no-op.
+//
+//greenvet:hotpath every batched fan-out leaves the broker through here
+func (c *Conn) SendFrames(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	var total int64
+	for _, p := range payloads {
+		if len(p) > MaxFrameSize {
+			return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
+		}
+		total += int64(len(p)) + 4
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("transport: set write deadline: %w", err)
+		}
+	}
+	// Build the header arena first (it must not move once referenced),
+	// then interleave headers and payloads into the vector.
+	if need := 4 * len(payloads); cap(c.hdrs) < need {
+		c.hdrs = make([]byte, need)
+	}
+	c.hdrs = c.hdrs[:4*len(payloads)]
+	c.iov = c.iov[:0]
+	for i, p := range payloads {
+		h := c.hdrs[4*i : 4*i+4]
+		binary.BigEndian.PutUint32(h, uint32(len(p)))
+		c.iov = append(c.iov, h, p)
+	}
+	iov := c.iov
+	if _, err := iov.WriteTo(c.nc); err != nil {
+		return c.writeErr("write frames", err)
+	}
+	c.inst.FramesSent.Add(int64(len(payloads)))
+	c.inst.BytesSent.Add(total)
 	return nil
 }
 
@@ -211,7 +280,9 @@ func (c *Conn) writeErr(op string, err error) error {
 	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
-// readFrame receives one length-prefixed payload.
+// readFrame receives one length-prefixed payload into a pooled buffer.
+// The caller must return the buffer via c.pool.Put once the frame is
+// consumed (Recv does so right after decoding).
 func (c *Conn) readFrame() ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -221,8 +292,9 @@ func (c *Conn) readFrame() ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	payload := c.pool.Get(int(n))
 	if _, err := io.ReadFull(c.r, payload); err != nil {
+		c.pool.Put(payload)
 		return nil, fmt.Errorf("transport: read payload: %w", err)
 	}
 	c.inst.FramesRecv.Inc()
@@ -246,7 +318,9 @@ func (c *Conn) RecvHello() (Hello, error) {
 	if err != nil {
 		return h, fmt.Errorf("transport: read hello: %w", err)
 	}
-	if err := json.Unmarshal(data, &h); err != nil {
+	err = json.Unmarshal(data, &h)
+	c.pool.Put(data) // json.Unmarshal copies; the frame buffer is dead
+	if err != nil {
 		return h, fmt.Errorf("transport: unmarshal hello: %w", err)
 	}
 	if h.ID == "" || (h.Kind != PeerBroker && h.Kind != PeerClient) {
@@ -272,6 +346,21 @@ func (c *Conn) Send(env *message.Envelope) error {
 	return c.writeFrame(data)
 }
 
+// SendWithHops encodes and sends one envelope, overriding the hop count
+// recorded on publication envelopes: the broker core emits shared
+// fan-out envelopes with the per-destination hop count carried beside
+// them (broker.Outgoing.Hops), applied here at encode time via a
+// shallow copy — the publication's attribute map is never cloned.
+func (c *Conn) SendWithHops(env *message.Envelope, hops int) error {
+	if env.Kind == message.KindPublication && env.Pub != nil && env.Pub.Hops != hops {
+		pub := *env.Pub
+		pub.Hops = hops
+		hopped := message.Envelope{Kind: message.KindPublication, Pub: &pub}
+		return c.Send(&hopped)
+	}
+	return c.Send(env)
+}
+
 // Recv receives and decodes one envelope. It returns io.EOF when the peer
 // closed cleanly.
 func (c *Conn) Recv() (*message.Envelope, error) {
@@ -279,13 +368,16 @@ func (c *Conn) Recv() (*message.Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
+	var env *message.Envelope
 	if h := c.inst.DecodeSeconds; h != nil {
 		start := time.Now()
-		env, derr := message.Decode(data)
+		env, err = message.Decode(data)
 		h.ObserveDuration(time.Since(start))
-		return env, derr
+	} else {
+		env, err = message.Decode(data)
 	}
-	return message.Decode(data)
+	c.pool.Put(data) // message.Decode copies; the frame buffer is dead
+	return env, err
 }
 
 // Listener accepts framed connections.
