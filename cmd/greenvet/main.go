@@ -1,8 +1,9 @@
 // Command greenvet is the multichecker driver for the repo's determinism
-// and concurrency lint suite (see DESIGN.md §8). It loads the packages
-// matching the given go-list patterns, runs every analyzer, prints any
-// findings in file:line:col form, and exits non-zero when there are any —
-// so CI fails on the first reintroduced invariant violation.
+// and concurrency lint suite (see DESIGN.md §8 and §13). It loads the
+// packages matching the given go-list patterns, runs every analyzer,
+// prints any findings in file:line:col form, and exits non-zero when
+// there are any — so CI fails on the first reintroduced invariant
+// violation.
 //
 // The -audit mode inverts the suppression machinery: it re-runs the
 // suite with //greenvet: directives ignored and reports the stale ones —
@@ -10,14 +11,26 @@
 // silently licenses the next real violation at its site, so -audit
 // failing is a CI error just like a live finding.
 //
+// The per-package analyzer sweeps fan out over -par workers (default:
+// one per core; -par 1 recovers the serial driver). Output order is
+// byte-identical at any worker count: diagnostics are sorted on a total
+// order before printing.
+//
+// -json renders the diagnostics as a JSON array with a stable field
+// order (analyzer, file, line, col, message — then sorted by position),
+// so runs diff cleanly; -json-file additionally writes the same document
+// to a file, which CI uploads as an artifact even when the run fails.
+//
 // Usage:
 //
 //	go run ./cmd/greenvet ./...
 //	go run ./cmd/greenvet -only maporder,nondet ./internal/allocation
 //	go run ./cmd/greenvet -audit ./...
+//	go run ./cmd/greenvet -json -json-file greenvet.json ./...
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +44,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	audit := flag.Bool("audit", false, "report stale //greenvet: suppression directives instead of findings")
+	par := flag.Int("par", 0, "number of parallel package workers (0 = one per core, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array instead of file:line:col lines")
+	jsonFile := flag.String("json-file", "", "also write the JSON diagnostics document to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: greenvet [-only a,b] [-audit] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: greenvet [-only a,b] [-audit] [-par n] [-json] [-json-file f] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the greenvet determinism & concurrency analyzers over the\ngiven go-list package patterns (default ./...).\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -41,7 +57,7 @@ func main() {
 	suite := analysis.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -73,22 +89,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
 		os.Exit(2)
 	}
-	run := framework.Run
 	noun := "finding"
 	if *audit {
-		run = framework.Audit
 		noun = "stale suppression"
 	}
-	diags, err := run(pkgs, suite)
+	var diags []framework.Diagnostic
+	if *audit {
+		diags, err = framework.AuditParallel(pkgs, suite, *par)
+	} else {
+		diags, err = framework.RunParallel(pkgs, suite, *par)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greenvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *jsonOut || *jsonFile != "" {
+		doc := renderJSON(diags, *audit)
+		if *jsonOut {
+			os.Stdout.Write(doc)
+		}
+		if *jsonFile != "" {
+			if err := os.WriteFile(*jsonFile, doc, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "greenvet: writing %s: %v\n", *jsonFile, err)
+				os.Exit(2)
+			}
+		}
+	}
+	if !*jsonOut {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "greenvet: %d %s(s) across %d package(s)\n", len(diags), noun, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// renderJSON marshals the diagnostics by hand so the field order is
+// fixed by this code, not by struct-tag iteration details: a top-level
+// object carrying the mode and count, then one entry per diagnostic with
+// analyzer, file, line, col, message. Diagnostics arrive already sorted
+// on the framework's total order, so two runs over the same tree produce
+// byte-identical documents regardless of worker count.
+func renderJSON(diags []framework.Diagnostic, audit bool) []byte {
+	mode := "findings"
+	if audit {
+		mode = "audit"
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "{\n  \"mode\": %q,\n  \"count\": %d,\n  \"diagnostics\": [", mode, len(diags))
+	for i, d := range diags {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n    {\"analyzer\": %q, \"file\": %q, \"line\": %d, \"col\": %d, \"message\": %q}",
+			d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	if len(diags) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	return b.Bytes()
 }

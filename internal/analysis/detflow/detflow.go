@@ -1,0 +1,188 @@
+// Package detflow is the interprocedural taint analyzer guarding the
+// determinism boundary: nondeterministic values — wall-clock reads,
+// global math/rand, crypto/rand, core-count queries, partial
+// map-iteration order, and anything read out of the telemetry package —
+// must not flow into a value that (a) is returned from a function in a
+// deterministic package or (b) is stored into a core.Plan, whichever
+// package that store happens in. CROC compares plans byte-for-byte
+// across brokers; one laundered clock read makes two brokers disagree
+// about an identical snapshot.
+//
+// The existing nondet analyzer bans the sources *syntactically inside*
+// det packages; detflow closes the laundering hole: a helper in a live
+// package calling time.Now and handing the result down a call chain
+// until it lands in a Plan field. Taint propagates through the call
+// graph's function summaries (callgraph.Summary.Taints) and through a
+// per-function flow-insensitive assignment fixpoint, with conservative
+// pass-through at calls (tainted receiver or argument taints the
+// result) — which is exactly what catches helpers that merely reshape a
+// tainted value.
+//
+// A justified //greenvet:detflow-ok <why> on the flagged line (or the
+// line above) suppresses a finding; -audit tracks the directives'
+// liveness like every other suppression.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/callgraph"
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// Analyzer is the detflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "detflow",
+	Doc:  "forbids nondeterministic values (clock, rand, map order, telemetry) from reaching det-package returns or core.Plan stores",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	g := callgraph.Of(pass)
+	path := pass.Pkg.Path()
+	detPkg := scope.IsDeterministic(path) && !scope.IsTelemetry(path)
+	for _, n := range g.Nodes {
+		if n.External() || n.Pkg.Path != path {
+			continue
+		}
+		local := g.LocalTaints(n)
+		if detPkg {
+			checkReturns(pass, g, n, local)
+		}
+		checkPlanStores(pass, g, n, local)
+	}
+	return nil
+}
+
+// checkReturns flags tainted return values of a det-package function.
+// Every return site is checked independently so each gets its own
+// suppression decision.
+func checkReturns(pass *framework.Pass, g *callgraph.Graph, n *callgraph.Node, local map[types.Object]*callgraph.Taint) {
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(x.Results) == 0 {
+				if n.Obj == nil {
+					return true
+				}
+				sig := n.Obj.Type().(*types.Signature)
+				for i := 0; i < sig.Results().Len(); i++ {
+					if t, ok := local[sig.Results().At(i)]; ok {
+						report(pass, x.Pos(), t, "returned from deterministic package "+pass.Pkg.Name())
+						return true
+					}
+				}
+				return true
+			}
+			for _, res := range x.Results {
+				if t := g.ExprTaint(n, local, res); t != nil {
+					report(pass, x.Pos(), t, "returned from deterministic package "+pass.Pkg.Name())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPlanStores flags tainted values stored into a core.Plan — field
+// assignments through any selector/index chain, and Plan composite
+// literals — in whatever package the store happens.
+func checkPlanStores(pass *framework.Pass, g *callgraph.Graph, n *callgraph.Node, local map[types.Object]*callgraph.Taint) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if !storesIntoPlan(info, lhs) {
+					continue
+				}
+				if t := g.ExprTaint(n, local, x.Rhs[i]); t != nil {
+					report(pass, x.Pos(), t, "stored into core.Plan")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t == nil || !isPlanType(t) {
+				return true
+			}
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taint := g.ExprTaint(n, local, v); taint != nil {
+					report(pass, v.Pos(), taint, "stored into core.Plan")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *framework.Pass, pos token.Pos, t *callgraph.Taint, sink string) {
+	// Consulted only once the finding is definite, so -audit can equate
+	// a matched directive with a live suppression.
+	if pass.Suppressed(pos, "detflow-ok") {
+		return
+	}
+	pass.Reportf(pos, "nondeterministic value (%s) %s; plans must be pure functions of the snapshot — plumb the value through an injected option or justify with //greenvet:detflow-ok",
+		t.Desc, sink)
+}
+
+// storesIntoPlan reports whether the assignment target writes through a
+// core.Plan value: some prefix of its selector/index chain has the Plan
+// type.
+func storesIntoPlan(info *types.Info, lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			if isPlanType(info.TypeOf(x.X)) {
+				return true
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			if isPlanType(info.TypeOf(x.X)) {
+				return true
+			}
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isPlanType reports whether t (possibly behind a pointer) is the named
+// type Plan from the core package or from a fixture standing in for it.
+func isPlanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Plan" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == scope.CorePath || scope.IsFixture(path)
+}

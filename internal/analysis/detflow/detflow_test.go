@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detflow", "fixture/detflow", detflow.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Fixture for detflow: nondeterministic values laundered through
+// helpers must be caught at the determinism boundary — det-package
+// returns and core.Plan stores. The fixture package loads as
+// "fixture/detflow", which the scope package treats as deterministic.
+package detflow
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/greenps/greenps/internal/telemetry"
+)
+
+// Plan stands in for core.Plan (detflow recognizes a named Plan type in
+// any fixture package as the sink type).
+type Plan struct {
+	Version int
+	Stamp   int64
+	Hosts   []string
+}
+
+// stamp reads the wall clock directly; its return from a det package is
+// the base case.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "nondeterministic value \\(wall-clock read\\) returned from deterministic package detflow"
+}
+
+// laundered never touches the clock syntactically — the taint arrives
+// through the helper's summary. This is the laundering hole the
+// intraprocedural nondet analyzer cannot see.
+func laundered() int64 {
+	v := stamp()
+	return v // want "nondeterministic value \\(wall-clock read via detflow.stamp\\) returned from deterministic package detflow"
+}
+
+// fill stores a clock read into a Plan field.
+func fill(p *Plan) {
+	p.Stamp = time.Now().UnixNano() // want "nondeterministic value \\(wall-clock read\\) stored into core.Plan"
+}
+
+var cached *Plan
+
+// rebuild seeds a Plan composite literal from the global rand source.
+func rebuild() {
+	cached = &Plan{Version: 1, Stamp: rand.Int63()} // want "nondeterministic value \\(global math/rand\\) stored into core.Plan"
+}
+
+// fromTelemetry lets an observed counter influence the plan.
+func fromTelemetry(p *Plan, c *telemetry.Counter) {
+	p.Version = int(c.Value()) // want "nondeterministic value \\(telemetry read\\) stored into core.Plan"
+}
+
+// firstKey leaks map-iteration order: the range is partial (it returns
+// out of the loop), so which key comes first is scheduler-dependent.
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k // want "nondeterministic value \\(map-iteration order \\(partial range\\)\\) returned from deterministic package detflow"
+	}
+	return ""
+}
+
+// sortedKeys ranges completely and sorts: the result is a pure function
+// of the map's contents. Clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// clock is an injected time source; plans built from it are
+// deterministic because the caller controls the implementation (the
+// virtual clock in tests). Calls through it stay untainted.
+type clock interface {
+	Now() int64
+}
+
+func stampWith(c clock) int64 {
+	return c.Now()
+}
+
+// seeded uses an explicitly seeded generator, which the det packages are
+// allowed to do. Clean.
+func seeded() int64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Int63()
+}
+
+// excused shows the audit trail: a justified suppression silences the
+// finding and -audit tracks its liveness.
+func excused() int64 {
+	//greenvet:detflow-ok fixture: feeds a log line, not the plan
+	return stamp()
+}

@@ -25,6 +25,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+
+	"github.com/greenps/greenps/internal/parwork"
 )
 
 // Analyzer describes one static check. Run is invoked once per loaded
@@ -43,6 +46,39 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+}
+
+// Program is the whole-program context shared by every Pass of one Run:
+// the full set of loaded packages plus a cache of expensive cross-package
+// facts (the call graph and its summaries live here). Facts are built
+// lazily by the first analyzer that asks and are then shared — the cache
+// is mutex-guarded, so passes running on parallel per-package workers can
+// all demand the same fact and block on a single construction.
+type Program struct {
+	// Packages is every package of the run, in load order.
+	Packages []*Package
+
+	mu    sync.Mutex
+	facts map[string]any
+}
+
+// NewProgram wraps a package set in a Program with an empty fact cache.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Packages: pkgs, facts: make(map[string]any)}
+}
+
+// Fact returns the cached value under key, building it with build on the
+// first request. Build runs under the Program lock: concurrent passes
+// requesting the same fact wait for one construction instead of racing.
+func (p *Program) Fact(key string, build func() any) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
 }
 
 // String formats the diagnostic in the canonical file:line:col form.
@@ -69,6 +105,10 @@ type Pass struct {
 	// Imports is the set of import paths the package's files import
 	// directly.
 	Imports map[string]bool
+	// Program is the whole-program context of the run (never nil under
+	// Run/Audit); interprocedural analyzers fetch the call graph and
+	// function summaries through it.
+	Program *Program
 
 	diags      *[]Diagnostic
 	directives map[string]map[int]directive // file -> line -> directive
@@ -191,27 +231,16 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 // findings sorted by position then analyzer name, so output order is
 // deterministic regardless of package or analyzer order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := parseDirectives(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				Imports:    pkg.Imports,
-				diags:      &diags,
-				directives: dirs,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
-		}
-	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return execute(pkgs, analyzers, false, 1)
+}
+
+// RunParallel is Run with the per-package analyzer sweeps fanned out over
+// at most workers goroutines (values <= 0 mean all cores). Every package
+// collects into its own slot and the merged findings pass through the
+// same total sort as Run, so output is byte-identical at any worker
+// count — the same discipline parwork imposes on the allocation paths.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	return execute(pkgs, analyzers, false, parwork.Workers(workers))
 }
 
 // Audit re-runs every analyzer with suppression disabled and reports the
@@ -222,47 +251,105 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // nothing left to suppress is the rot this mode exists to catch, since a
 // stale directive silently licenses the next real violation at its site.
 func Audit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var stale []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := parseDirectives(pkg.Fset, pkg.Files)
-		live := make(map[string]bool)
-		var discard []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				Imports:    pkg.Imports,
-				diags:      &discard,
-				directives: dirs,
-				audit:      true,
-				live:       live,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
+	return execute(pkgs, analyzers, true, 1)
+}
+
+// AuditParallel is Audit with per-package fan-out, mirroring RunParallel.
+func AuditParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	return execute(pkgs, analyzers, true, parwork.Workers(workers))
+}
+
+// execute runs the suite over every package — serially or on a bounded
+// worker pool — and merges the per-package results deterministically.
+// Directive liveness (audit mode) is tracked per package, so packages are
+// independent units of work; the only cross-package state is the Program
+// fact cache, which is mutex-guarded.
+func execute(pkgs []*Package, analyzers []*Analyzer, audit bool, workers int) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	runPkg := func(i int) {
+		perPkg[i], errs[i] = executePackage(prog, pkgs[i], analyzers, audit)
+	}
+	if workers <= 1 || len(pkgs) <= 1 {
+		for i := range pkgs {
+			runPkg(i)
 		}
-		for _, byLine := range dirs {
-			for _, d := range byLine {
-				if live[dirKey(d.pos.Filename, d.pos.Line)] {
-					continue
-				}
-				stale = append(stale, Diagnostic{
-					Pos:      d.pos,
-					Analyzer: "audit",
-					Message: fmt.Sprintf("stale //greenvet:%s directive: no analyzer reports a finding at this site anymore; remove it or re-justify against current code",
-						d.name),
-				})
-			}
+	} else {
+		var g parwork.Group
+		sem := make(chan struct{}, workers)
+		for i := range pkgs {
+			i := i
+			g.Go(func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runPkg(i)
+			})
+		}
+		g.Wait()
+	}
+	var diags []Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		diags = append(diags, perPkg[i]...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// executePackage runs every analyzer over one package. In audit mode the
+// analyzers' raw findings are discarded and the returned diagnostics are
+// the package's stale directives instead.
+func executePackage(prog *Program, pkg *Package, analyzers []*Analyzer, audit bool) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var live map[string]bool
+	if audit {
+		live = make(map[string]bool)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Imports:    pkg.Imports,
+			Program:    prog,
+			diags:      &diags,
+			directives: dirs,
+			audit:      audit,
+			live:       live,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	sortDiagnostics(stale)
+	if !audit {
+		return diags, nil
+	}
+	var stale []Diagnostic
+	for _, byLine := range dirs {
+		for _, d := range byLine {
+			if live[dirKey(d.pos.Filename, d.pos.Line)] {
+				continue
+			}
+			stale = append(stale, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "audit",
+				Message: fmt.Sprintf("stale //greenvet:%s directive: no analyzer reports a finding at this site anymore; remove it or re-justify against current code",
+					d.name),
+			})
+		}
+	}
 	return stale, nil
 }
 
-// sortDiagnostics orders findings by position then analyzer name.
+// sortDiagnostics orders findings by position, analyzer name, then
+// message — a total order, so merged parallel output cannot depend on
+// which worker finished first even when two findings share a site.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -275,6 +362,9 @@ func sortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }

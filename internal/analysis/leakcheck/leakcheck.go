@@ -1,0 +1,475 @@
+// Package leakcheck flags the goroutine-leak shape behind the PR 5
+// broker event-loop deadlock: a goroutine is spawned to deliver a result
+// over an unbuffered channel, but some path through the spawner returns
+// without ever receiving — the sender blocks forever, pinning its stack
+// and everything it captured.
+//
+// The analyzer triggers only when every piece of the pattern is proven:
+//
+//   - the spawned function (a literal, or a callee whose summary says it
+//     sends on the parameter the channel is passed at) performs an
+//     UNGUARDED send — a bare `ch <- v`, or a single-case select without
+//     default; a send inside a select with a default or with a second
+//     communication case has its own escape hatch and is exempt;
+//   - the channel is a local of the spawner created with `make(chan T)`
+//     (or explicit capacity 0) — a buffered channel absorbs one send;
+//   - the channel does not escape: it is not passed to any other call,
+//     returned, stored, sent on by the spawner itself, or captured by a
+//     second goroutine (any of those may produce a receiver the
+//     analysis cannot see, so they silence it);
+//   - and the spawner's CFG has a path from the spawn to an exit that
+//     crosses no receive from the channel. Receives inside deferred
+//     calls count as on-every-path; a receive in one select clause only
+//     covers the paths through that clause.
+//
+// A justified //greenvet:leak-ok <why> on the `go` line (or the line
+// above) suppresses a finding; -audit tracks its liveness.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/callgraph"
+	"github.com/greenps/greenps/internal/analysis/cfg"
+	"github.com/greenps/greenps/internal/analysis/framework"
+)
+
+// Analyzer is the leakcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "leakcheck",
+	Doc:  "flags goroutines sending on unbuffered channels the spawner may exit without receiving from",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	g := callgraph.Of(pass)
+	path := pass.Pkg.Path()
+	for _, n := range g.Nodes {
+		if n.External() || n.Pkg.Path != path {
+			continue
+		}
+		checkSpawner(pass, g, n)
+	}
+	return nil
+}
+
+// checkSpawner analyzes every go statement directly inside n's body.
+func checkSpawner(pass *framework.Pass, g *callgraph.Graph, n *callgraph.Node) {
+	var spawns []*ast.GoStmt
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			spawns = append(spawns, x)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	graph := cfg.New(n.Body)
+	for _, spawn := range spawns {
+		for _, obj := range spawnSendTargets(g, n, spawn) {
+			checkChannel(pass, g, n, graph, spawn, spawns, obj)
+		}
+	}
+}
+
+// spawnSendTargets returns the channel objects the spawned goroutine
+// performs unguarded sends on: captured channels the spawned literal
+// sends on (directly or by forwarding to a callee that sends on the
+// parameter), and arguments passed at send-on-param positions of a
+// summarized callee.
+func spawnSendTargets(g *callgraph.Graph, n *callgraph.Node, spawn *ast.GoStmt) []types.Object {
+	info := n.Pkg.Info
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	add := func(obj types.Object) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	for _, e := range g.CallEdges[spawn.Call] {
+		if e.Callee.Summary == nil {
+			continue
+		}
+		if e.Callee.Lit != nil && e.ArgIndex == -1 {
+			// go func(){...}(): channels the literal sends on without a
+			// guard, captured from the spawner.
+			for _, obj := range litSendObjects(g, e.Callee) {
+				add(obj)
+			}
+			continue
+		}
+		// go f(ch): the callee's summary says which parameters it sends
+		// on; map those back to the argument objects.
+		for j, sends := range e.Callee.Summary.SendsOnParam {
+			if !sends || j >= len(spawn.Call.Args) {
+				continue
+			}
+			if id, ok := spawn.Call.Args[j].(*ast.Ident); ok {
+				add(info.ObjectOf(id))
+			}
+		}
+	}
+	return out
+}
+
+// litSendObjects collects the objects a function literal sends on
+// unguarded: direct sends outside exempting selects, plus channels it
+// forwards to callees that send on the corresponding parameter.
+func litSendObjects(g *callgraph.Graph, lit *callgraph.Node) []types.Object {
+	info := lit.Pkg.Info
+	var out []types.Object
+	guarded := guardedSends(lit.Body)
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if guarded[x] {
+				return true
+			}
+			if id, ok := x.Chan.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		case *ast.CallExpr:
+			for _, e := range g.CallEdges[x] {
+				if e.Go || e.ArgIndex != -1 || e.Callee.Summary == nil {
+					continue
+				}
+				for j, sends := range e.Callee.Summary.SendsOnParam {
+					if !sends || j >= len(x.Args) {
+						continue
+					}
+					if id, ok := x.Args[j].(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							out = append(out, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardedSends marks sends appearing as select communications whose
+// select has an escape hatch: a default case or a second communication
+// case. A single-comm select without default blocks exactly like a bare
+// send and is NOT exempt.
+func guardedSends(body *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		comms := 0
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				comms++
+			}
+		}
+		exempt := cfg.HasDefault(sel) || comms >= 2
+		if !exempt {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					out[send] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkChannel verifies the remaining pattern pieces for one candidate
+// channel and reports at the go statement if a receive-free path to
+// exit exists.
+func checkChannel(pass *framework.Pass, g *callgraph.Graph, n *callgraph.Node, graph *cfg.Graph, spawn *ast.GoStmt, allSpawns []*ast.GoStmt, obj types.Object) {
+	makePos, unbuffered := localUnbufferedMake(n, obj)
+	if !unbuffered {
+		return
+	}
+	if channelEscapes(n, spawn, allSpawns, obj, makePos) {
+		return
+	}
+	// Deferred receives run on every exit path.
+	for _, d := range graph.Defers {
+		if containsReceive(n.Pkg.Info, d.Call, obj) {
+			return
+		}
+	}
+	if pos, leaks := receiveFreePath(n.Pkg.Info, graph, spawn, obj); leaks {
+		// Consulted only once the finding is definite, so -audit can
+		// equate a matched directive with a live suppression.
+		if pass.Suppressed(spawn.Pos(), "leak-ok") {
+			return
+		}
+		exitLine := pass.Fset.Position(pos).Line
+		pass.Reportf(spawn.Pos(), "goroutine sends on unbuffered channel %s but the spawner may exit (line %d) without receiving; the sender blocks forever — receive on every path, buffer the channel, or give the send a cancellation case; justify exceptions with //greenvet:leak-ok",
+			obj.Name(), exitLine)
+	}
+}
+
+// localUnbufferedMake reports whether obj is a local of n created with
+// an unbuffered make(chan T) and returns the make's position.
+func localUnbufferedMake(n *callgraph.Node, obj types.Object) (token.Pos, bool) {
+	info := n.Pkg.Info
+	var pos token.Pos
+	found := false
+	check := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return
+		}
+		if isUnbufferedMake(info, rhs) {
+			pos = rhs.Pos()
+			found = true
+		}
+	}
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					check(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					check(x.Names[i], x.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+func isUnbufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	tv, ok := info.Types[call.Args[1]]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+// channelEscapes reports whether obj is used anywhere that could hand a
+// reference to an unseen receiver: any use other than its definition,
+// the spawn under analysis, receives, and close. Other go statements
+// also count as escapes — a second goroutine may be the receiver.
+func channelEscapes(n *callgraph.Node, spawn *ast.GoStmt, allSpawns []*ast.GoStmt, obj types.Object, makePos token.Pos) bool {
+	info := n.Pkg.Info
+	escapes := false
+	framework.WithStack(n.Body, func(m ast.Node, stack []ast.Node) bool {
+		if escapes {
+			return false
+		}
+		// Do not descend into the spawn's own subtree; every use inside
+		// it is the pattern itself. Other spawned literals WILL be
+		// walked, and their uses classified below.
+		if m == spawn {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return true
+		}
+		if classifyUse(info, id, stack, makePos) {
+			return true
+		}
+		escapes = true
+		return false
+	})
+	return escapes
+}
+
+// classifyUse reports whether one use of the channel is benign for the
+// leak analysis: its defining make assignment, a receive, or a close.
+func classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node, makePos token.Pos) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			return true // receive
+		}
+	case *ast.RangeStmt:
+		if p.X == id {
+			return true // range receive
+		}
+	case *ast.AssignStmt:
+		// LHS of the defining make (or a redefinition to another make,
+		// which localUnbufferedMake already vetted positionally).
+		for i, lhs := range p.Lhs {
+			if lhs == id && i < len(p.Rhs) && p.Rhs[i].Pos() == makePos {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for i, name := range p.Names {
+			if name == id && i < len(p.Values) && p.Values[i].Pos() == makePos {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if fid, ok := p.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[fid].(*types.Builtin); ok && (b.Name() == "close" || b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsReceive reports whether the subtree (a deferred call,
+// including any literal body) receives from obj.
+func containsReceive(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if id, ok := x.X.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.X.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiveFreePath searches the CFG for a path from the spawn to the
+// function exit that crosses no receive from obj; returns the exit
+// position evidencing the leak (the last node before exit on the found
+// path, or the spawn itself).
+func receiveFreePath(info *types.Info, graph *cfg.Graph, spawn *ast.GoStmt, obj types.Object) (token.Pos, bool) {
+	var spawnBlock *cfg.Block
+	spawnIdx := -1
+	for _, b := range graph.Blocks {
+		for i, node := range b.Nodes {
+			if node == spawn {
+				spawnBlock, spawnIdx = b, i
+				break
+			}
+		}
+		if spawnBlock != nil {
+			break
+		}
+	}
+	if spawnBlock == nil {
+		return token.NoPos, false // unreachable spawn
+	}
+	// blockReceives: does the block (from index i) receive from obj?
+	receivesFrom := func(b *cfg.Block, from int) bool {
+		for _, node := range b.Nodes[from:] {
+			hit := false
+			cfg.InspectShallow(node, func(m ast.Node) bool {
+				if containsShallowReceive(info, m, obj) {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				return true
+			}
+		}
+		return false
+	}
+	if receivesFrom(spawnBlock, spawnIdx+1) {
+		return token.NoPos, false
+	}
+	// DFS over receive-free blocks looking for the exit.
+	visited := map[*cfg.Block]bool{spawnBlock: true}
+	lastPos := spawn.Pos()
+	var dfs func(b *cfg.Block, pos token.Pos) (token.Pos, bool)
+	dfs = func(b *cfg.Block, pos token.Pos) (token.Pos, bool) {
+		for _, succ := range b.Succs {
+			if succ == graph.Exit {
+				return pos, true
+			}
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if receivesFrom(succ, 0) {
+				continue
+			}
+			succPos := pos
+			if len(succ.Nodes) > 0 {
+				succPos = succ.Nodes[len(succ.Nodes)-1].Pos()
+			}
+			if p, leak := dfs(succ, succPos); leak {
+				return p, true
+			}
+		}
+		return token.NoPos, false
+	}
+	return dfs(spawnBlock, lastPos)
+}
+
+// containsShallowReceive checks one expression node for a receive from
+// obj (without descending into nested literals — InspectShallow already
+// prunes those).
+func containsShallowReceive(info *types.Info, m ast.Node, obj types.Object) bool {
+	switch x := m.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			if id, ok := x.X.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := x.X.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}

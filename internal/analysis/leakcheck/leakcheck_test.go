@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/leakcheck", "fixture/leakcheck", leakcheck.Analyzer)
+}

@@ -1,0 +1,111 @@
+// Fixture for leakcheck: goroutines delivering results over unbuffered
+// channels must have a receiver on every spawner exit path.
+package leakcheck
+
+func compute() int { return 42 }
+
+// produce sends unguarded on its parameter; its summary carries
+// SendsOnParam so spawn sites can compose with it.
+func produce(ch chan int) { ch <- compute() }
+
+// earlyReturn is the archetypal leak: the error path returns before the
+// receive, so the sender blocks forever.
+func earlyReturn(n int) int {
+	ch := make(chan int)
+	go func() { ch <- compute() }() // want "goroutine sends on unbuffered channel ch but the spawner may exit"
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}
+
+// viaCallee leaks the same way, with the send one call away — the
+// goroutine body is a plain call whose summary says it sends on ch.
+func viaCallee(n int) int {
+	ch := make(chan int)
+	go produce(ch) // want "goroutine sends on unbuffered channel ch but the spawner may exit"
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}
+
+// viaWrappedCallee forwards the captured channel from inside the
+// spawned literal.
+func viaWrappedCallee(n int) int {
+	ch := make(chan int)
+	go func() { produce(ch) }() // want "goroutine sends on unbuffered channel ch but the spawner may exit"
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}
+
+// allPathsReceive is the healthy version of the pattern: clean.
+func allPathsReceive() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return <-ch
+}
+
+// buffered absorbs the one send even if nobody receives: clean.
+func buffered(n int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- compute() }()
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}
+
+// deferredDrain receives in a defer, which runs on every exit: clean.
+func deferredDrain(n int) int {
+	ch := make(chan int)
+	defer func() { <-ch }()
+	go func() { ch <- compute() }()
+	if n == 0 {
+		return 0
+	}
+	return 1
+}
+
+// guardedSend gives the sender its own escape hatch — a select with
+// default — so an absent receiver cannot block it: clean.
+func guardedSend(n int) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		default:
+		}
+	}()
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}
+
+func register(ch chan int) {}
+
+// escapes hands the channel to another call, which may wire up a
+// receiver the analysis cannot see: clean by the escape rule.
+func escapes(n int) {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	register(ch)
+	if n == 0 {
+		return
+	}
+	<-ch
+}
+
+// excused demonstrates the suppression path.
+func excused(n int) int {
+	ch := make(chan int)
+	//greenvet:leak-ok fixture: the process exits on the early path, reaping the goroutine
+	go func() { ch <- compute() }()
+	if n == 0 {
+		return 0
+	}
+	return <-ch
+}

@@ -2,44 +2,51 @@
 // function's control-flow graph and reports two classes of hazard:
 //
 //  1. A lock held across a blocking operation — a channel send/receive,
-//     a default-less select, a Wait-style join, a sleep, or a call into
-//     the wire layers (net, bufio, io, transport.Conn, client.Client).
-//     A goroutine that blocks while holding a mutex stalls every
-//     contender for as long as the operation takes; if the operation
-//     can only complete once a contender runs (the broker event-loop
-//     feeding its own inbox, say), the stall is a deadlock.
+//     a default-less select, a Wait-style join, a sleep, a call into the
+//     wire layers (net, bufio, io, transport.Conn, client.Client), or,
+//     since the interprocedural upgrade, a call to ANY function whose
+//     summary says it may transitively block, however many calls deep
+//     the actual operation sits. A goroutine that blocks while holding
+//     a mutex stalls every contender for as long as the operation
+//     takes; if the operation can only complete once a contender runs
+//     (the broker event-loop feeding its own inbox, say), the stall is
+//     a deadlock.
 //
 //  2. Inconsistent lock-acquisition order: two locks acquired in both
-//     the A-then-B and B-then-A orders somewhere in the same package.
-//     Each order is individually fine; together they are the classic
-//     two-thread deadlock, and no test run is guaranteed to interleave
-//     into it.
+//     the A-then-B and B-then-A orders anywhere in the program — within
+//     one function, across functions, or across packages, composed
+//     through the call graph (a lock held at a call site orders before
+//     everything the callee transitively acquires). Each order is
+//     individually fine; together they are the classic two-thread
+//     deadlock, and no test run is guaranteed to interleave into it.
 //
-// The lockset analysis is a forward may-analysis: at a merge point a
-// lock counts as held if any incoming path holds it, so a report reads
-// "may be held". Deferred unlocks deliberately do not clear the lockset
-// — `defer mu.Unlock()` keeps the lock until the function returns, which
-// is exactly the window the analysis measures. One report is issued per
-// (lock, function): a //greenvet:lock-ok <justification> at the first
-// reported site covers that lock for the rest of the function.
+// The per-function lockset analysis is a forward may-analysis: at a
+// merge point a lock counts as held if any incoming path holds it, so a
+// report reads "may be held". Deferred unlocks deliberately do not clear
+// the lockset — `defer mu.Unlock()` keeps the lock until the function
+// returns, which is exactly the window the analysis measures. One report
+// is issued per (lock, function): a //greenvet:lock-ok <justification>
+// at the first reported site covers that lock for the rest of the
+// function.
 package lockcheck
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 
+	"github.com/greenps/greenps/internal/analysis/callgraph"
 	"github.com/greenps/greenps/internal/analysis/cfg"
 	"github.com/greenps/greenps/internal/analysis/framework"
-	"github.com/greenps/greenps/internal/analysis/scope"
 )
 
-// Analyzer is the lockcheck check.
+// Analyzer is the interprocedural lockcheck check. The directive name
+// stays "lock-ok" — existing suppressions keep their meaning.
 var Analyzer = &framework.Analyzer{
-	Name: "lockcheck",
-	Doc:  "flags mutexes held across blocking operations and inconsistent lock-acquisition order",
+	Name: "lockcheck-ip",
+	Doc:  "flags mutexes held across (transitively) blocking operations and program-wide lock-acquisition-order inversions",
 	Run:  run,
 }
 
@@ -55,15 +62,8 @@ func (ls lockset) clone() lockset {
 	return out
 }
 
-// orderEdge records one observed nested acquisition: `inner` taken while
-// `outer` was already held.
-type orderEdge struct {
-	outer, inner string
-	pos          token.Pos
-}
-
 func run(pass *framework.Pass) error {
-	var edges []orderEdge
+	g := callgraph.Of(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -74,21 +74,28 @@ func run(pass *framework.Pass) error {
 				body = fn.Body
 			}
 			if body != nil {
-				checkFunc(pass, body, &edges)
+				checkFunc(pass, g, body)
 			}
 			return true
 		})
 	}
-	reportInversions(pass, edges)
+	reportInversions(pass, g)
 	return nil
 }
 
+// pkgOf adapts the pass to the callgraph helpers' *framework.Package
+// parameter (only Fset and Info are consulted).
+func pkgOf(pass *framework.Pass) *framework.Package {
+	return &framework.Package{Path: pass.Pkg.Path(), Fset: pass.Fset, Info: pass.Info, Types: pass.Pkg}
+}
+
 // checkFunc runs the lockset fixpoint over one function body and then a
-// single reporting sweep using the stable in-facts. Note the FuncLit
-// bodies nested inside are analyzed by their own checkFunc call (the
+// single reporting sweep using the stable in-facts. FuncLit bodies
+// nested inside are analyzed by their own checkFunc call (the
 // ast.Inspect in run visits them too) and skipped here by InspectShallow.
-func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
-	g := cfg.New(body)
+func checkFunc(pass *framework.Pass, g *callgraph.Graph, body *ast.BlockStmt) {
+	pkg := pkgOf(pass)
+	graph := cfg.New(body)
 	analysis := cfg.Analysis[lockset]{
 		Boundary: lockset{},
 		Join: func(a, b lockset) lockset {
@@ -103,7 +110,7 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
 		Transfer: func(b *cfg.Block, in lockset) lockset {
 			out := in.clone()
 			for _, n := range b.Nodes {
-				applyNode(pass, n, out, nil, nil)
+				applyNode(pkg, g, n, out, nil)
 			}
 			return out
 		},
@@ -119,7 +126,7 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
 			return true
 		},
 	}
-	in := cfg.Forward(g, analysis)
+	in := cfg.Forward(graph, analysis)
 
 	// Select communication clauses appear as ordinary send/receive nodes
 	// in their clause blocks, but the blocking point is the select itself
@@ -133,11 +140,11 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
 	})
 
 	// Reporting sweep: re-apply the transfer over each block, this time
-	// recording order edges and blocking-site reports. reported tracks
-	// locks already diagnosed in this function; suppressing the first
-	// site covers the rest.
+	// classifying blocking sites against the stable in-facts. reported
+	// tracks locks already diagnosed in this function; suppressing the
+	// first site covers the rest.
 	reported := make(map[string]bool)
-	for _, b := range g.Blocks {
+	for _, b := range graph.Blocks {
 		fact, ok := in[b]
 		if !ok {
 			continue // unreachable
@@ -150,16 +157,16 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt, edges *[]orderEdge) {
 			if comms[n] {
 				report = nil
 			}
-			applyNode(pass, n, cur, edges, report)
+			applyNode(pkg, g, n, cur, report)
 		}
 	}
 }
 
 // applyNode applies one CFG node's lock effects to ls. When report is
-// non-nil it also classifies blocking operations inside the node and
-// invokes report for each; when edges is non-nil nested acquisitions are
-// recorded for the order check.
-func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge, report func(token.Pos, string)) {
+// non-nil it also classifies blocking operations inside the node —
+// curated direct operations first, then any call whose callee's summary
+// may transitively block — and invokes report for each.
+func applyNode(pkg *framework.Package, g *callgraph.Graph, n ast.Node, ls lockset, report func(token.Pos, string)) {
 	switch n.(type) {
 	case *ast.DeferStmt:
 		// Deferred lock-method calls run at function exit; in particular
@@ -174,16 +181,9 @@ func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge,
 	cfg.InspectShallow(n, func(m ast.Node) bool {
 		switch node := m.(type) {
 		case *ast.CallExpr:
-			if root, op, ok := lockOp(pass, node); ok {
+			if root, op, ok := callgraph.LockOp(pkg, node); ok {
 				switch op {
 				case "Lock", "RLock":
-					if edges != nil {
-						for held := range ls {
-							if held != root {
-								*edges = append(*edges, orderEdge{outer: held, inner: root, pos: node.Pos()})
-							}
-						}
-					}
 					ls[root] = node.Pos()
 				case "Unlock", "RUnlock":
 					delete(ls, root)
@@ -191,7 +191,9 @@ func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge,
 				return false
 			}
 			if report != nil {
-				if desc, ok := blockingCall(pass, node); ok {
+				if desc, ok := callgraph.DirectBlockingCall(pkg, node); ok {
+					report(node.Pos(), desc)
+				} else if desc, ok := summaryBlocking(g, node); ok {
 					report(node.Pos(), desc)
 				}
 			}
@@ -209,7 +211,7 @@ func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge,
 			}
 		case *ast.RangeStmt:
 			if report != nil {
-				if t := pass.Info.TypeOf(node.X); t != nil {
+				if t := pkg.Info.TypeOf(node.X); t != nil {
 					if _, ok := t.Underlying().(*types.Chan); ok {
 						report(node.Pos(), "range over channel")
 					}
@@ -218,6 +220,25 @@ func applyNode(pass *framework.Pass, n ast.Node, ls lockset, edges *[]orderEdge,
 		}
 		return true
 	})
+}
+
+// summaryBlocking classifies a call as blocking through the call graph:
+// some callee of the site (excluding spawned and deferred invocations)
+// has a may-block summary. The description carries the call chain down
+// to the leaf operation, so a report names the two-calls-deep channel
+// send it is actually about.
+func summaryBlocking(g *callgraph.Graph, call *ast.CallExpr) (string, bool) {
+	for _, e := range g.CallEdges[call] {
+		if e.Go || e.Defer {
+			continue
+		}
+		s := e.Callee.Summary
+		if s == nil || !s.MayBlock {
+			continue
+		}
+		return "call to " + e.Callee.Name + ", which may block: " + s.BlockChain(), true
+	}
+	return "", false
 }
 
 // reportBlocked emits one diagnostic per held lock at a blocking site,
@@ -243,15 +264,26 @@ func reportBlocked(pass *framework.Pass, pos token.Pos, desc string, ls lockset,
 	}
 }
 
-// reportInversions finds lock pairs acquired in both orders anywhere in
-// the package and reports each direction's first occurrence.
-func reportInversions(pass *framework.Pass, edges []orderEdge) {
+// reportInversions reports lock pairs acquired in both orders anywhere
+// in the program, using the call-graph-composed order edges. Each
+// direction's first acquisition site is the anchor; when both live in
+// the same package the pair is reported once from the lexically smaller
+// outer lock's site, and when they span packages each package reports
+// the direction it owns (each pass sees only its own files, and a
+// suppression must live next to the code it excuses).
+func reportInversions(pass *framework.Pass, g *callgraph.Graph) {
 	type pair struct{ outer, inner string }
-	first := make(map[pair]token.Pos)
-	for _, e := range edges {
-		p := pair{e.outer, e.inner}
-		if prev, ok := first[p]; !ok || e.pos < prev {
-			first[p] = e.pos
+	type site struct {
+		pos token.Pos
+		pkg string
+		via string
+	}
+	first := make(map[pair]site)
+	for _, e := range g.OrderEdges() {
+		p := pair{e.Outer, e.Inner}
+		s, ok := first[p]
+		if !ok || e.Pos < s.pos {
+			first[p] = site{pos: e.Pos, pkg: e.Pkg.Path, via: e.Via}
 		}
 	}
 	pairs := make([]pair, 0, len(first))
@@ -264,159 +296,43 @@ func reportInversions(pass *framework.Pass, edges []orderEdge) {
 		}
 		return pairs[i].inner < pairs[j].inner
 	})
+	here := pass.Pkg.Path()
 	for _, p := range pairs {
 		rev := pair{p.inner, p.outer}
-		revPos, ok := first[rev]
-		if !ok || p.outer >= p.inner {
-			continue // report each unordered pair once, from the lexically smaller outer
-		}
-		pos := first[p]
-		// Consulted only once the finding is definite, so -audit can
-		// equate a matched directive with a live suppression.
-		if pass.Suppressed(pos, "lock-ok") || pass.Suppressed(revPos, "lock-ok") {
+		revSite, ok := first[rev]
+		if !ok {
 			continue
 		}
-		revLine := pass.Fset.Position(revPos).Line
-		pass.Reportf(pos, "%s acquired while holding %s, but line %d acquires them in the opposite order; pick one order package-wide or justify with //greenvet:lock-ok",
-			p.inner, p.outer, revLine)
-	}
-}
-
-// lockOp classifies a call as a sync.Mutex/RWMutex lock-method call,
-// returning the lock's canonical root and the method name.
-func lockOp(pass *framework.Pass, call *ast.CallExpr) (root, op string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	obj := pass.Info.Uses[sel.Sel]
-	fn, isFn := obj.(*types.Func)
-	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	return lockRoot(pass, sel.X), name, true
-}
-
-// lockRoot canonicalizes the lock-holding expression so that the same
-// lock reached through different receivers compares equal across
-// functions: a struct field becomes "TypeName.field", a package-level
-// variable "pkgname.var", anything else its printed source form.
-func lockRoot(pass *framework.Pass, e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.SelectorExpr:
-		if selection, ok := pass.Info.Selections[x]; ok && selection.Kind() == types.FieldVal {
-			t := selection.Recv()
-			if p, isPtr := t.(*types.Pointer); isPtr {
-				t = p.Elem()
+		s := first[p]
+		samePkg := s.pkg == revSite.pkg
+		if samePkg {
+			// Report each unordered pair once, from the lexically
+			// smaller outer, if this pass owns the package.
+			if p.outer >= p.inner || s.pkg != here {
+				continue
 			}
-			if named, isNamed := t.(*types.Named); isNamed {
-				return named.Obj().Name() + "." + x.Sel.Name
-			}
+		} else if s.pkg != here {
+			// Cross-package: each side reports its own direction.
+			continue
 		}
-		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-			return v.Pkg().Name() + "." + v.Name()
+		// Consulted only once the finding is definite, so -audit can
+		// equate a matched directive with a live suppression.
+		if pass.Suppressed(s.pos, "lock-ok") {
+			continue
 		}
-	case *ast.Ident:
-		if v, ok := pass.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-			return v.Pkg().Name() + "." + v.Name()
+		if samePkg && pass.Suppressed(revSite.pos, "lock-ok") {
+			continue
 		}
-	case *ast.ParenExpr:
-		return lockRoot(pass, x.X)
+		via := ""
+		if s.via != "" {
+			via = " (via call to " + s.via + ")"
+		}
+		revPosition := pass.Fset.Position(revSite.pos)
+		revWhere := fmt.Sprintf("line %d", revPosition.Line)
+		if !samePkg {
+			revWhere = fmt.Sprintf("%s:%d", revPosition.Filename, revPosition.Line)
+		}
+		pass.Reportf(s.pos, "%s acquired%s while holding %s, but %s acquires them in the opposite order; pick one order program-wide or justify with //greenvet:lock-ok",
+			p.inner, via, p.outer, revWhere)
 	}
-	return framework.ExprString(pass.Fset, e)
-}
-
-// blockingFuncs are package-level functions that block the calling
-// goroutine (or may, for unbounded time), keyed by framework.FuncKey.
-var blockingFuncs = map[string]string{
-	"time.Sleep":                  "time.Sleep",
-	"io.Copy":                     "io.Copy",
-	"io.CopyN":                    "io.CopyN",
-	"io.ReadFull":                 "io.ReadFull",
-	"io.ReadAll":                  "io.ReadAll",
-	"net.Dial":                    "net.Dial",
-	"net.DialTimeout":             "net.DialTimeout",
-	"net.Listen":                  "net.Listen",
-	scope.ParworkPath + ".Run":    "parwork.Run (fork/join)",
-	scope.TransportPath + ".Dial": "transport.Dial",
-	scope.ClientPath + ".Connect": "client.Connect",
-}
-
-// blockingMethodPkgs are packages all of whose I/O-shaped methods count
-// as blocking; the set lists the method names per package path.
-var blockingMethodPkgs = map[string]map[string]bool{
-	"net": {
-		"Read": true, "Write": true, "Accept": true, "Close": false,
-	},
-	"bufio": {
-		"Read": true, "Write": true, "Flush": true, "ReadByte": true,
-		"WriteByte": true, "ReadString": true, "WriteString": true,
-		"ReadBytes": true, "ReadRune": true, "ReadSlice": true,
-		"ReadLine": true, "Peek": true,
-	},
-	scope.TransportPath: {
-		"Send": true, "Recv": true, "SendHello": true, "RecvHello": true,
-		"writeFrame": true, "readFrame": true, "Accept": true,
-	},
-	scope.ClientPath: {
-		"Advertise": true, "Unadvertise": true, "Publish": true,
-		"PublishAt": true, "Subscribe": true, "Unsubscribe": true,
-		"SendBIR": true, "Close": true,
-	},
-}
-
-// blockingCall classifies a call expression as a blocking operation.
-func blockingCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if isSel {
-		if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
-			fn := selection.Obj().(*types.Func)
-			name := fn.Name()
-			// Wait-style joins block by definition (sync.WaitGroup,
-			// sync.Cond, parwork.Group, broker.Limiter all share the name).
-			if name == "Wait" {
-				return callName(pass, sel) + " (join)", true
-			}
-			if fn.Pkg() != nil {
-				if methods, ok := blockingMethodPkgs[fn.Pkg().Path()]; ok && methods[name] {
-					return callName(pass, sel) + " (blocking I/O)", true
-				}
-			}
-			return "", false
-		}
-	}
-	fn := framework.FuncOf(pass.Info, call.Fun)
-	if fn == nil {
-		return "", false
-	}
-	if desc, ok := blockingFuncs[framework.FuncKey(fn)]; ok {
-		return desc, true
-	}
-	return "", false
-}
-
-// callName renders a method call as "Type.Method" for diagnostics.
-func callName(pass *framework.Pass, sel *ast.SelectorExpr) string {
-	if selection, ok := pass.Info.Selections[sel]; ok {
-		t := selection.Recv()
-		if p, isPtr := t.(*types.Pointer); isPtr {
-			t = p.Elem()
-		}
-		if named, isNamed := t.(*types.Named); isNamed {
-			return named.Obj().Name() + "." + sel.Sel.Name
-		}
-		if _, isIface := t.Underlying().(*types.Interface); isIface {
-			s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
-			if !strings.Contains(s, "{") {
-				return s + "." + sel.Sel.Name
-			}
-		}
-	}
-	return sel.Sel.Name
 }

@@ -10,3 +10,7 @@ import (
 func TestLockcheck(t *testing.T) {
 	analysistest.Run(t, "testdata/src/lockcheck", "fixture/lockcheck", lockcheck.Analyzer)
 }
+
+func TestLockcheckInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockcheckip", "fixture/lockcheckip", lockcheck.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Fixture for lockcheck's interprocedural layer: blocking operations
+// buried arbitrarily deep behind calls are found through function
+// summaries, and acquisition-order inversions pair up across call
+// chains, not just within one body.
+package lockcheckip
+
+import "sync"
+
+var mu sync.Mutex
+
+// leaf is where the actual blocking happens — two calls below the site
+// that holds the lock.
+func leaf(ch chan int) { ch <- 1 }
+
+func relay(ch chan int) { leaf(ch) }
+
+// holdsAcrossDeepBlock holds mu across a call whose callee transitively
+// blocks; the old intraprocedural rule saw a harmless-looking call here.
+func holdsAcrossDeepBlock(ch chan int) {
+	mu.Lock()
+	relay(ch) // want `lockcheckip.mu may be held \(acquired at line 20\) across call to lockcheckip.relay, which may block: lockcheckip.leaf → channel send`
+	mu.Unlock()
+}
+
+// releasesFirst unlocks before the blocking call chain: clean.
+func releasesFirst(ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	relay(ch)
+}
+
+// spawnsBlocked launches the blocking chain on another goroutine, which
+// does not block the lock holder: clean.
+func spawnsBlocked(ch chan int) {
+	mu.Lock()
+	go relay(ch)
+	mu.Unlock()
+}
+
+type sender struct {
+	out chan int
+}
+
+func (s *sender) push() { s.out <- 1 }
+
+// viaMethodValue reaches the blocking method through a method value
+// bound to a variable.
+func viaMethodValue(s *sender) {
+	mu.Lock()
+	f := s.push
+	f() // want `lockcheckip.mu may be held \(acquired at line 49\) across call to lockcheckip.sender.push, which may block: channel send`
+	mu.Unlock()
+}
+
+// justified demonstrates the suppression path for a summary finding.
+func justified(ch chan int) {
+	mu.Lock()
+	//greenvet:lock-ok fixture: the channel is buffered by construction here
+	relay(ch)
+	mu.Unlock()
+}
+
+// --- inversions composed across call boundaries ---
+
+type pairlocks struct {
+	a, b sync.Mutex
+}
+
+func (p *pairlocks) lockBInner() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// aThenB acquires b only inside the callee; the inversion against
+// bThenA is only visible through the composed order edge.
+func (p *pairlocks) aThenB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockBInner() // want `pairlocks.b acquired \(via call to lockcheckip.pairlocks.lockBInner\) while holding pairlocks.a, but line 85 acquires them in the opposite order`
+}
+
+func (p *pairlocks) bThenA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}

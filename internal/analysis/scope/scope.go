@@ -35,6 +35,11 @@ const (
 	ClientPath    = Module + "/internal/client"
 )
 
+// CorePath is the package owning core.Plan, the canonical reconfiguration
+// artifact that CROC compares byte-for-byte. detflow treats any value
+// stored into a Plan as a determinism sink.
+const CorePath = Module + "/internal/core"
+
 // ErrflowPackages are the live-stack packages errflow audits: the layers
 // where a silently dropped error corrupts a reconfiguration (a failed
 // apply step that looks applied) or wedges a broker (a connection error

@@ -4,9 +4,11 @@
 package analysis
 
 import (
+	"github.com/greenps/greenps/internal/analysis/detflow"
 	"github.com/greenps/greenps/internal/analysis/errflow"
 	"github.com/greenps/greenps/internal/analysis/framework"
 	"github.com/greenps/greenps/internal/analysis/hotalloc"
+	"github.com/greenps/greenps/internal/analysis/leakcheck"
 	"github.com/greenps/greenps/internal/analysis/lockcheck"
 	"github.com/greenps/greenps/internal/analysis/maporder"
 	"github.com/greenps/greenps/internal/analysis/nondet"
@@ -17,7 +19,8 @@ import (
 
 // Suite returns every greenvet analyzer in presentation order: the
 // AST-pattern checks first, then the CFG/dataflow checks built on
-// internal/analysis/cfg.
+// internal/analysis/cfg, then the interprocedural checks built on
+// internal/analysis/callgraph function summaries.
 func Suite() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		maporder.Analyzer,
@@ -28,5 +31,7 @@ func Suite() []*framework.Analyzer {
 		lockcheck.Analyzer,
 		errflow.Analyzer,
 		hotalloc.Analyzer,
+		detflow.Analyzer,
+		leakcheck.Analyzer,
 	}
 }

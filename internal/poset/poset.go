@@ -583,17 +583,22 @@ func (p *Poset) Walk(fn func(*Node)) {
 
 // CheckInvariants verifies structural soundness: every node is reachable
 // from the root, every edge respects the superset order, and the graph is
-// acyclic. Intended for tests; returns the first violation found.
+// acyclic. Intended for tests; returns the first violation in node-ID
+// order, so a broken graph produces the same witness on every run.
 func (p *Poset) CheckInvariants() error {
 	reach := make(map[*Node]struct{})
 	p.Walk(func(n *Node) { reach[n] = struct{}{} })
 	if len(reach) != len(p.nodes) {
 		return fmt.Errorf("poset: %d nodes reachable, %d registered", len(reach), len(p.nodes))
 	}
-	//greenvet:ordered error path only: any violation fails the check, and tests treat every violation equally
-	for _, n := range p.nodes {
-		//greenvet:ordered error path only: any violation fails the check, and tests treat every violation equally
-		for ch := range n.children {
+	ids := make([]string, 0, len(p.nodes))
+	for id := range p.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := p.nodes[id]
+		for _, ch := range n.Children() {
 			r := bitvector.Relate(n.Profile, ch.Profile)
 			if r != bitvector.RelSuperset {
 				return fmt.Errorf("poset: edge %s -> %s has relationship %v, want superset", n.ID, ch.ID, r)
@@ -613,8 +618,7 @@ func (p *Poset) CheckInvariants() error {
 	var visit func(n *Node) error
 	visit = func(n *Node) error {
 		color[n] = gray
-		//greenvet:ordered cycle detection: whether a cycle exists is order-independent; only the reported witness varies, and only on already-failing graphs
-		for ch := range n.children {
+		for _, ch := range n.Children() {
 			switch color[ch] {
 			case gray:
 				return fmt.Errorf("poset: cycle through %s", ch.ID)

@@ -420,3 +420,27 @@ func BenchmarkInsertGIFs(b *testing.B) {
 		})
 	}
 }
+
+// TestCheckInvariantsDeterministicWitness corrupts two edges of one node
+// and demands the same witness on every run. Before CheckInvariants
+// switched to ID-ordered iteration it ranged over the children map, so
+// which of the two broken edges it reported depended on map iteration
+// order and flipped between runs.
+func TestCheckInvariantsDeterministicWitness(t *testing.T) {
+	p := New()
+	a := mustInsert(t, p, "A", rangeProf(0, 3))
+	b := mustInsert(t, p, "B", prof(0))
+	c := mustInsert(t, p, "C", prof(1))
+	delete(b.parents, a)
+	delete(c.parents, a)
+	const want = "poset: edge A -> B missing back-link"
+	for i := 0; i < 50; i++ {
+		err := p.CheckInvariants()
+		if err == nil {
+			t.Fatal("corrupted poset passed CheckInvariants")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: witness %q, want %q", i, err, want)
+		}
+	}
+}

@@ -212,6 +212,7 @@ func (c *Conn) writeFrame(payload []byte) error {
 	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(payload)))
 	c.iov = append(c.iov[:0], c.hdr[:], payload)
 	iov := c.iov
+	//greenvet:lock-ok wmu IS the write-serialization lock: it must span the writev so concurrent frames cannot interleave, and the write deadline bounds the hold
 	if _, err := iov.WriteTo(c.nc); err != nil {
 		return c.writeErr("write frame", err)
 	}
@@ -259,6 +260,7 @@ func (c *Conn) SendFrames(payloads [][]byte) error {
 		c.iov = append(c.iov, h, p)
 	}
 	iov := c.iov
+	//greenvet:lock-ok wmu IS the write-serialization lock: it must span the writev so concurrent batches cannot interleave, and the write deadline bounds the hold
 	if _, err := iov.WriteTo(c.nc); err != nil {
 		return c.writeErr("write frames", err)
 	}
