@@ -1,5 +1,5 @@
 // Command greenbench regenerates the paper's evaluation tables and figures
-// (experiments E1..E12 and T1 from DESIGN.md) using the virtual-time
+// (experiments E1..E13 and T1 from DESIGN.md) using the virtual-time
 // simulation harness.
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	greenbench -exp all                # every experiment at paper scale
 //	greenbench -exp e1,e2 -quick      # selected experiments, reduced scale
 //	greenbench -exp e9 -full          # include the 1,000-broker run
+//	greenbench -exp e13 -full         # include the 1M-subscription run
 //	greenbench -list                  # list experiment IDs
 package main
 
@@ -41,14 +42,15 @@ var descriptions = []struct{ id, desc string }{
 	{"e10", "Phase-3 overlay optimization ablation"},
 	{"e11", "publisher relocation alone vs full pipeline"},
 	{"e12", "poset insertion scalability"},
+	{"e13", "CRAM allocation at scale (sharded search, spill-to-disk)"},
 	{"t1", "summary: reductions vs MANUAL"},
 }
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (e1..e12, t1) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (e1..e13, t1) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced scale (~20x faster, same shapes)")
-		full     = flag.Bool("full", false, "include the 1,000-broker E9 run")
+		full     = flag.Bool("full", false, "include the long runs: 1,000-broker E9, 1M-subscription E13")
 		seed     = flag.Int64("seed", 1, "random seed")
 		par      = flag.Int("parallelism", 0, "allocation worker count (0 = all cores); results are identical at any value")
 		verbose  = flag.Bool("v", true, "print progress to stderr")
@@ -156,6 +158,10 @@ func run() error {
 		{"e10", func() (*metrics.Series, error) { return experiments.OverlayAblation(cfg) }},
 		{"e11", func() (*metrics.Series, error) { return experiments.GrapeOnly(cfg) }},
 		{"e12", func() (*metrics.Series, error) { return experiments.PosetScaling(cfg) }},
+		{"e13", func() (*metrics.Series, error) {
+			s, _, err := experiments.ScaleSweep(cfg, *full)
+			return s, err
+		}},
 	}
 	for _, r := range runners {
 		if !want[r.id] {

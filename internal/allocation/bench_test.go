@@ -242,6 +242,33 @@ func BenchmarkCRAMParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkFeasProbe isolates the incremental feasibility probe at
+// several worker counts. It is the regression gate for the probeTeam
+// wait discipline (bounded spin, then condition-variable park): on a
+// machine with 4+ cores the parallel rows must not regress versus the
+// old unbounded busy-wait, and on oversubscribed machines the park path
+// replaces what used to be a core-burning spin. Compare workers1 to
+// workers4/workers8 per-op times across changes to feasibility.go.
+func BenchmarkFeasProbe(b *testing.B) {
+	in := benchInput(b)
+	base := sortUnitsByBandwidthDesc(in.Units)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			eng := newFeasEngine(in.Brokers, in.Publishers, in.ProfileCapacity)
+			eng.reset(base, 1)
+			if !eng.probe(nil, nil, w) {
+				b.Fatal("pool must be feasible")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !eng.probe(nil, nil, w) {
+					b.Fatal("pool must be feasible")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFeasibilityTest isolates CRAM's inner loop: one BIN PACKING
 // feasibility pass over the full pool.
 func BenchmarkFeasibilityTest(b *testing.B) {

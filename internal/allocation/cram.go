@@ -60,6 +60,27 @@ type CRAM struct {
 	// order, so the Assignment and every CRAMStats counter are bit-for-bit
 	// identical at any setting — Parallelism is purely a wall-clock knob.
 	Parallelism int
+	// Shards sets the shard count of the sharded exhaustive partner scan
+	// (DESIGN.md §14): GIFs are routed to shards by summary signature and
+	// a shard whose aggregate envelope bound cannot beat the incumbent is
+	// pruned wholesale, its members tallied without per-pair bound work.
+	// 0 picks automatically (1 below autoShardMinGIFs GIFs, ~√n above,
+	// capped at maxAutoShards); 1 disables sharding. Sharding only
+	// engages on the exhaustive scan with bound pruning enabled. The
+	// returned plan and every stat except ShardsPruned are bit-for-bit
+	// identical at any shard count (ShardsPruned necessarily depends on
+	// the shard layout).
+	Shards int
+	// SpillBudgetBytes caps the in-memory working set of the seed-phase
+	// candidate set. 0 keeps all candidates in the heap; a positive
+	// budget routes them through an external sorter (internal/extsort)
+	// that spills sorted runs to temp files past the budget and merges
+	// them back during the clustering loop. The candidate pop sequence —
+	// and therefore the plan and every stat except SpilledRuns — is
+	// identical with or without spilling.
+	SpillBudgetBytes int
+	// SpillDir receives the spill run files ("" = the OS temp dir).
+	SpillDir string
 
 	stats CRAMStats
 }
@@ -105,6 +126,18 @@ type CRAMStats struct {
 	ClustersRejected int
 	// OneToManyApplied counts accepted CGS clusterings.
 	OneToManyApplied int
+	// ShardsPruned counts shards discarded wholesale by their envelope
+	// bound in the sharded exhaustive scan. Their members still appear in
+	// ClosenessComputations and BoundPruned (the per-pair bounds would
+	// have pruned each of them too), so those counters stay identical at
+	// any shard count; ShardsPruned itself is the only shard-layout-
+	// dependent stat.
+	ShardsPruned int
+	// SpilledRuns counts the sorted candidate runs written to disk by the
+	// seed-phase spill path (0 when the working set stayed within
+	// SpillBudgetBytes or spilling is off). It is the only stat that
+	// depends on the memory budget.
+	SpilledRuns int
 }
 
 // Name implements Algorithm.
@@ -138,6 +171,23 @@ func (g *gif) sortUnits() {
 	})
 }
 
+// insertUnit places u at its position in the bandwidth-ascending unit
+// order — a binary search plus one shift, replacing the full resort the
+// commit sites used to run on every single-unit addition. The order is a
+// strict total order (IDs are unique), so the result is byte-identical
+// to sortUnits on the appended slice.
+func (g *gif) insertUnit(u *Unit) {
+	i := sort.Search(len(g.units), func(i int) bool {
+		if g.units[i].Load.Bandwidth != u.Load.Bandwidth {
+			return g.units[i].Load.Bandwidth > u.Load.Bandwidth
+		}
+		return g.units[i].ID > u.ID
+	})
+	g.units = append(g.units, nil)
+	copy(g.units[i+1:], g.units[i:])
+	g.units[i] = u
+}
+
 // removeUnit drops a unit by identity.
 func (g *gif) removeUnit(u *Unit) {
 	for i, x := range g.units {
@@ -155,20 +205,25 @@ type candidate struct {
 	closeness float64
 }
 
+// candBefore is the canonical candidate priority: closeness descending,
+// then gifID, then partnerID — a strict total order shared by the heap
+// comparator and the spill stream's record encoding.
+func candBefore(a, b candidate) bool {
+	if a.closeness != b.closeness {
+		return a.closeness > b.closeness
+	}
+	if a.gifID != b.gifID {
+		return a.gifID < b.gifID
+	}
+	return a.partnerID < b.partnerID
+}
+
 // candHeap is a max-heap of candidates by closeness.
 type candHeap []candidate
 
-func (h candHeap) Len() int      { return len(h) }
-func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h candHeap) Less(i, j int) bool {
-	if h[i].closeness != h[j].closeness {
-		return h[i].closeness > h[j].closeness
-	}
-	if h[i].gifID != h[j].gifID {
-		return h[i].gifID < h[j].gifID
-	}
-	return h[i].partnerID < h[j].partnerID
-}
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h candHeap) Less(i, j int) bool { return candBefore(h[i], h[j]) }
 func (h *candHeap) Push(x any) { *h = append(*h, x.(candidate)) }
 func (h *candHeap) Pop() any {
 	old := *h
@@ -184,16 +239,26 @@ type cramRun struct {
 	capacity int
 	brokers  []*BrokerSpec
 	pubs     map[string]*bitvector.PublisherStats
-	inCache  map[string]bitvector.Load
 
 	gifs      map[string]*gif
 	byKey     map[string]*gif // fingerprint -> gif
 	zeroUnits []*Unit         // empty-profile units, packed but never clustered
 	ps        *poset.Poset
-	blacklist map[string]struct{}
-	heap      candHeap
-	nextGIF   int
-	nextUnit  int
+	blacklist map[gifPair]struct{}
+	// blPartners indexes the blacklist per GIF (self-pairs excluded) for
+	// the sharded scan's pruned-shard accounting.
+	blPartners map[string][]string
+	heap       candHeap
+	// shards is the GIF pool sharded by summary signature for wholesale
+	// envelope pruning of the exhaustive scan; nil when sharding is
+	// inactive (poset search, bound pruning disabled, or a single shard).
+	shards *shardSet
+	// spill, when non-nil, routes the seed-phase candidates through the
+	// external sorter instead of the heap; the main loop then merges the
+	// sorted stream with the overlay heap of post-seed candidates.
+	spill   *candSpill
+	nextGIF int
+	nextUnit int
 	// par is the normalized Parallelism (always >= 1).
 	par int
 	// eng is the incremental feasibility engine; rebuilt lazily against
@@ -215,16 +280,37 @@ type cramRun struct {
 	gifIDsDirty bool
 }
 
-func pairKey(a, b string) string {
+// gifPair is the blacklist key: two GIF IDs normalized so a <= b. A
+// struct key keeps the clustering inner loop's blacklist probes
+// allocation-free — the former string key concatenated a+"|"+b on every
+// lookup, one garbage string per probe across millions of probes.
+type gifPair struct {
+	a, b string
+}
+
+func pairKey(a, b string) gifPair {
 	if a > b {
 		a, b = b, a
 	}
-	return a + "|" + b
+	return gifPair{a: a, b: b}
 }
 
 func (r *cramRun) blacklisted(a, b string) bool {
 	_, ok := r.blacklist[pairKey(a, b)]
 	return ok
+}
+
+// noteBlacklist records a rejected pairing. The per-GIF partner index
+// lets the sharded scan subtract a wholesale-pruned shard's blacklisted
+// members from its stats tally in O(partners of g) instead of touching
+// every member; self-pairs never appear in the scan, so they are not
+// indexed.
+func (r *cramRun) noteBlacklist(a, b string) {
+	r.blacklist[pairKey(a, b)] = struct{}{}
+	if a != b {
+		r.blPartners[a] = append(r.blPartners[a], b)
+		r.blPartners[b] = append(r.blPartners[b], a)
+	}
 }
 
 // poolUnits returns the current unit pool in BIN PACKING order, cached
@@ -259,17 +345,59 @@ func (r *cramRun) sortedGIFIDs() []string {
 }
 
 // markDirty invalidates the sorted pool cache after a committed change and
-// opens a new probe generation.
+// opens a new probe generation. It forces a full O(n log n) rebuild at the
+// next poolUnits call; commit sites that know their exact unit delta use
+// applyPool instead and only fall back here when no valid base exists.
 func (r *cramRun) markDirty() {
 	r.sortedDirty = true
 	r.probeGen++
+}
+
+// applyPool commits a pool change incrementally: the removed units are
+// filtered out of the sorted cache (by identity) and the added units
+// spliced in at their BIN PACKING positions — O(n + a·log n) against the
+// O(n log n) resort of a full rebuild, which at million-unit scale is
+// the difference between a linear pass and a dominant sort per accepted
+// clustering. The order is a strict total order, so the repaired slice
+// is byte-identical to what poolUnits would rebuild. A fresh slice is
+// built because the feasibility engine aliases the previous one: its
+// reset diffs old base against new by position to decide which pack
+// checkpoints survive, which an in-place splice would corrupt.
+func (r *cramRun) applyPool(removed map[*Unit]bool, added []*Unit) {
+	// Memoize the committed units' input loads here, on the coordinator,
+	// before any later probe can read them (loadOf's memo contract).
+	// Unconditional across both branches, including the markDirty
+	// fallback below.
+	for _, u := range added {
+		u.memoInputLoad(r.pubs)
+	}
+	if r.sorted == nil || r.sortedDirty {
+		r.markDirty()
+		return
+	}
+	r.probeGen++
+	out := make([]*Unit, 0, len(r.sorted)+len(added))
+	for _, u := range r.sorted {
+		if removed != nil && removed[u] {
+			continue
+		}
+		out = append(out, u)
+	}
+	for _, u := range added {
+		i := sort.Search(len(out), func(i int) bool { return unitBefore(u, out[i]) })
+		out = append(out, nil)
+		copy(out[i+1:], out[i:])
+		out[i] = u
+	}
+	r.sorted = out
+	r.poolVersion++
 }
 
 // engine returns the feasibility engine synced to the current pool.
 func (r *cramRun) engine() *feasEngine {
 	base := r.poolUnits()
 	if r.eng == nil {
-		r.eng = newFeasEngine(r.brokers, r.pubs, r.capacity, r.inCache)
+		r.eng = newFeasEngine(r.brokers, r.pubs, r.capacity)
 	}
 	r.eng.reset(base, r.poolVersion)
 	return r.eng
@@ -404,16 +532,16 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	c.stats = CRAMStats{InitialUnits: len(in.Units)}
 
 	r := &cramRun{
-		c:         c,
-		capacity:  in.ProfileCapacity,
-		brokers:   sortBrokersByCapacity(in.Brokers),
-		pubs:      in.Publishers,
-		inCache:   make(map[string]bitvector.Load),
-		gifs:      make(map[string]*gif),
-		byKey:     make(map[string]*gif),
-		ps:        poset.New(),
-		blacklist: make(map[string]struct{}),
-		par:       parwork.Workers(c.Parallelism),
+		c:          c,
+		capacity:   in.ProfileCapacity,
+		brokers:    sortBrokersByCapacity(in.Brokers),
+		pubs:       in.Publishers,
+		gifs:       make(map[string]*gif),
+		byKey:      make(map[string]*gif),
+		ps:         poset.New(),
+		blacklist:  make(map[gifPair]struct{}),
+		blPartners: make(map[string][]string),
+		par:        parwork.Workers(c.Parallelism),
 	}
 
 	// Group units into GIFs by profile fingerprint (Optimization 1).
@@ -443,9 +571,11 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	}
 	c.stats.InitialGIFs = len(r.gifs)
 
-	// Warm the per-unit input-load cache up front, fanned out across the
-	// workers; every later feasibility probe then runs on cache hits.
-	warmInLoadCache(in.Units, r.pubs, r.inCache, r.par)
+	// Memoize every input unit's input-side load up front, fanned out
+	// across the workers; every later feasibility probe then reads the
+	// memo off the unit. Unconditional so units recycled from an earlier
+	// run with different publisher statistics cannot carry a stale load.
+	warmInLoadCache(in.Units, r.pubs, r.par)
 
 	// Initial allocation test without clustering (the algorithm terminates
 	// immediately if the raw pool does not fit).
@@ -466,6 +596,18 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 		}
 	}
 
+	// Shard the pool for wholesale envelope pruning of the exhaustive
+	// scan (DESIGN.md §14). The shard count is fixed for the run.
+	if useExhaustive && !c.DisableBoundPruning {
+		r.shards = newShardSet(shardCount(c.Shards, len(r.gifs)))
+		if r.shards != nil {
+			for _, id := range r.sortedGIFIDs() {
+				r.shards.add(r.gifs[id])
+			}
+			r.shards.freshen(r.gifs)
+		}
+	}
+
 	// Seed the candidate heap with every GIF's best partner, the searches
 	// fanned out across the workers. No run state mutates during the
 	// fan-out, and the heap comparator is a strict total order over
@@ -477,17 +619,36 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	seedCands := make([]*candidate, len(seedIDs))
 	seedComps := make([]int, len(seedIDs))
 	seedPruned := make([]int, len(seedIDs))
+	seedShards := make([]int, len(seedIDs))
 	parwork.Run(len(seedIDs), r.par, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			seedCands[i], seedComps[i], seedPruned[i] = r.bestPartner(r.gifs[seedIDs[i]], useExhaustive, 1)
+			seedCands[i], seedComps[i], seedPruned[i], seedShards[i] = r.bestPartner(r.gifs[seedIDs[i]], useExhaustive, 1)
 		}
 	})
+	if c.SpillBudgetBytes > 0 {
+		r.spill = newCandSpill(c.SpillBudgetBytes, c.SpillDir)
+		defer r.spill.close()
+	}
 	for i, cd := range seedCands {
 		c.stats.ClosenessComputations += seedComps[i]
 		c.stats.BoundPruned += seedPruned[i]
-		if cd != nil {
+		c.stats.ShardsPruned += seedShards[i]
+		if cd == nil {
+			continue
+		}
+		if r.spill != nil {
+			if err := r.spill.add(*cd); err != nil {
+				return nil, nil, fmt.Errorf("CRAM: candidate spill: %w", err)
+			}
+		} else {
 			heap.Push(&r.heap, *cd)
 		}
+	}
+	if r.spill != nil {
+		if err := r.spill.finish(); err != nil {
+			return nil, nil, fmt.Errorf("CRAM: candidate spill: %w", err)
+		}
+		c.stats.SpilledRuns = r.spill.runs
 	}
 
 	maxIter := c.MaxIterations
@@ -495,8 +656,14 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 		maxIter = 64 * (len(r.gifs) + 1)
 	}
 
-	for iter := 0; iter < maxIter && r.heap.Len() > 0; iter++ {
-		cand := heap.Pop(&r.heap).(candidate)
+	for iter := 0; iter < maxIter; iter++ {
+		cand, ok, err := r.nextCand()
+		if err != nil {
+			return nil, nil, fmt.Errorf("CRAM: candidate spill: %w", err)
+		}
+		if !ok {
+			break
+		}
 		g, okG := r.gifs[cand.gifID]
 		p, okP := r.gifs[cand.partnerID]
 		if !okG {
@@ -523,7 +690,7 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 			c.stats.ClustersAccepted++
 		} else {
 			c.stats.ClustersRejected++
-			r.blacklist[pairKey(g.id, p.id)] = struct{}{}
+			r.noteBlacklist(g.id, p.id)
 			r.pushBest(g, useExhaustive)
 			if p != g {
 				r.pushBest(p, useExhaustive)
@@ -533,7 +700,7 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 
 	// Materialize the final (feasible by construction) allocation.
 	units := r.poolUnits()
-	a, err := packFirstFit(units, r.brokers, r.pubs, r.capacity, r.inCache)
+	a, err := packFirstFit(units, r.brokers, r.pubs, r.capacity, make(map[string]bitvector.Load))
 	if err != nil {
 		// Cannot happen: every committed pool passed the feasibility test.
 		return nil, nil, fmt.Errorf("CRAM: final pack of feasible pool failed: %w", err)
@@ -542,26 +709,57 @@ func (c *CRAM) run(in *Input) (*cramRun, *Assignment, error) {
 	return r, a, nil
 }
 
+// nextCand pops the highest-priority candidate across the two sources:
+// the spilled seed stream (already in candBefore order) and the overlay
+// heap of post-seed candidates. Ties — possible only for bit-identical
+// candidates — go to the stream, which is one of the valid adjacent pop
+// orders of the duplicate pair; without a spill this is exactly the old
+// heap pop.
+func (r *cramRun) nextCand() (candidate, bool, error) {
+	if r.spill != nil && r.spill.headOK {
+		if r.heap.Len() == 0 || !candBefore(r.heap[0], r.spill.head) {
+			cd := r.spill.head
+			if err := r.spill.advance(); err != nil {
+				return candidate{}, false, err
+			}
+			return cd, true, nil
+		}
+	}
+	if r.heap.Len() > 0 {
+		return heap.Pop(&r.heap).(candidate), true, nil
+	}
+	return candidate{}, false, nil
+}
+
 // pushBest computes the GIF's best admissible partner and pushes it onto
 // the heap. GIFs with no positive-closeness partner push nothing.
+// pushBest runs only on the coordinator, so it is the safe point to
+// rebuild any shard envelopes dirtied by the preceding commit before the
+// search reads them.
 func (r *cramRun) pushBest(g *gif, exhaustive bool) {
-	best, comps, pruned := r.bestPartner(g, exhaustive, r.par)
+	if r.shards != nil {
+		r.shards.freshen(r.gifs)
+	}
+	best, comps, pruned, shardsPruned := r.bestPartner(g, exhaustive, r.par)
 	r.c.stats.ClosenessComputations += comps
 	r.c.stats.BoundPruned += pruned
+	r.c.stats.ShardsPruned += shardsPruned
 	if best != nil {
 		heap.Push(&r.heap, *best)
 	}
 }
 
 // bestPartner computes the GIF's best admissible partner, the number of
-// closeness evaluations the search considered, and how many of those were
-// answered by a summary bound instead of an exact metric call — all
-// without touching run state, so the seed phase can fan searches for
-// distinct GIFs across workers. par additionally parallelizes the search
-// for this one GIF (the exhaustive scan or the poset BFS); every reduction
-// runs in the canonical GIF-ID order, so the returned candidate and both
-// counts are identical at any par.
-func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (best *candidate, comps, pruned int) {
+// closeness evaluations the search considered, how many of those were
+// answered by a summary bound instead of an exact metric call, and how
+// many shards the sharded scan discarded wholesale — all without
+// touching run state, so the seed phase can fan searches for distinct
+// GIFs across workers. par additionally parallelizes the search for this
+// one GIF (the exhaustive scan or the poset BFS); every reduction runs
+// in the canonical GIF-ID order, so the returned candidate and the
+// comps/pruned counts are identical at any par and any shard count
+// (shardsPruned alone depends on the shard layout).
+func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (best *candidate, comps, pruned, shardsPruned int) {
 	// Self-pair: the equal relationship pairs a GIF with itself whenever it
 	// holds more than one unit (Optimization 1's equal case).
 	if len(g.units) >= 2 && !r.blacklisted(g.id, g.id) {
@@ -573,6 +771,22 @@ func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (best *candidate
 	}
 	if exhaustive {
 		ids := r.sortedGIFIDs()
+		if r.shards != nil {
+			// Wholesale shard pruning against the incumbent threshold —
+			// the same t0 the per-pair rule uses below, so a pruned
+			// shard's members are exactly pairings that rule would have
+			// pruned individually (and none could have anchored). The
+			// surviving members arrive merged back into global ID order,
+			// keeping the reduction's tie-break canonical.
+			t0 := 0.0
+			if best != nil {
+				t0 = best.closeness
+			}
+			var bulk int
+			ids, bulk, shardsPruned = r.shardSurvivors(g, t0)
+			comps += bulk
+			pruned += bulk
+		}
 		// Evaluate every admissible pairing across the workers, then
 		// reduce serially in ID order: first strict maximum wins, exactly
 		// the serial scan's tie-break.
@@ -631,7 +845,7 @@ func (r *cramRun) bestPartner(g *gif, exhaustive bool, par int) (best *candidate
 			best = &candidate{gifID: g.id, partnerID: res.Best.ID, closeness: res.Closeness}
 		}
 	}
-	return best, comps, pruned
+	return best, comps, pruned, shardsPruned
 }
 
 // boundPruneScan is the bound stage of the exhaustive partner scan. It
@@ -734,11 +948,14 @@ func (r *cramRun) clusterSelf(g *gif, exhaustive bool) bool {
 	if bestK < 2 {
 		return false
 	}
+	removed := make(map[*Unit]bool, bestK)
+	for _, u := range g.units[:bestK] {
+		removed[u] = true
+	}
 	merged := MergeUnits(r.newUnitID(), r.capacity, g.units[:bestK]...)
 	g.units = append([]*Unit{}, g.units[bestK:]...)
-	g.units = append(g.units, merged)
-	g.sortUnits()
-	r.markDirty()
+	g.insertUnit(merged)
+	r.applyPool(removed, []*Unit{merged})
 	r.pushBest(g, exhaustive)
 	return true
 }
@@ -753,6 +970,7 @@ func (r *cramRun) clusterLightest(a, b *gif, exhaustive bool) bool {
 		return false
 	}
 	merged.ID = r.newUnitID() // mint only at commit
+	r.applyPool(map[*Unit]bool{ua: true, ub: true}, []*Unit{merged})
 	r.detachUnit(a, ua, exhaustive)
 	r.detachUnit(b, ub, exhaustive)
 	r.attachUnit(merged, exhaustive)
@@ -780,14 +998,17 @@ func (r *cramRun) clusterCovering(covering, covered *gif, exhaustive bool) bool 
 		return false
 	}
 	parts := append([]*Unit{uc}, covered.units[:bestM]...)
+	removed := make(map[*Unit]bool, len(parts))
+	for _, u := range parts {
+		removed[u] = true
+	}
 	merged := MergeUnits(r.newUnitID(), r.capacity, parts...)
 	covering.removeUnit(uc)
-	for _, u := range covered.units[:bestM] {
+	for _, u := range parts[1:] {
 		covered.removeUnit(u)
 	}
-	covering.units = append(covering.units, merged)
-	covering.sortUnits()
-	r.markDirty()
+	covering.insertUnit(merged)
+	r.applyPool(removed, []*Unit{merged})
 	if len(covered.units) == 0 {
 		r.dropGIF(covered)
 	} else {
@@ -885,6 +1106,7 @@ func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
 	merged.ID = r.newUnitID() // mint only at commit
 	// Commit: merged profile equals the parent's (CGS members are covered),
 	// so the merged unit joins the parent GIF.
+	r.applyPool(removed, []*Unit{merged})
 	parent.removeUnit(puc)
 	for _, g := range cgs {
 		g.removeUnit(g.units[0])
@@ -894,17 +1116,16 @@ func (r *cramRun) tryCoveredSet(parent, other *gif, exhaustive bool) bool {
 			r.pushBest(g, exhaustive)
 		}
 	}
-	parent.units = append(parent.units, merged)
-	parent.sortUnits()
-	r.markDirty()
+	parent.insertUnit(merged)
 	r.pushBest(parent, exhaustive)
 	return true
 }
 
 // detachUnit removes a unit from its GIF, dropping the GIF when emptied.
+// The pool cache is the caller's to repair (applyPool with the full
+// commit delta).
 func (r *cramRun) detachUnit(g *gif, u *Unit, exhaustive bool) {
 	g.removeUnit(u)
-	r.markDirty()
 	if len(g.units) == 0 {
 		r.dropGIF(g)
 	} else {
@@ -929,6 +1150,12 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 		r.byKey[key] = g
 		r.gifs[g.id] = g
 		r.gifIDsDirty = true
+		if r.shards != nil {
+			// The new member makes its shard's envelope stale on the
+			// unsound side; the dirty flag defers the rebuild to the next
+			// pushBest, which runs before any search can read it.
+			r.shards.add(g)
+		}
 		if !exhaustive {
 			// Equal profiles always share a fingerprint, so the byKey miss
 			// guarantees this profile is new to the poset.
@@ -939,9 +1166,7 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 			g.node = node
 		}
 	}
-	g.units = append(g.units, u)
-	g.sortUnits()
-	r.markDirty()
+	g.insertUnit(u)
 	r.pushBest(g, exhaustive)
 }
 
@@ -949,6 +1174,11 @@ func (r *cramRun) attachUnit(u *Unit, exhaustive bool) {
 func (r *cramRun) dropGIF(g *gif) {
 	delete(r.gifs, g.id)
 	r.gifIDsDirty = true
+	if r.shards != nil {
+		// Removal leaves the shard envelope stale on the admissible side
+		// (it can only prune less), so only the live count updates.
+		r.shards.drop(g.id)
+	}
 	if !r.c.DisableGIFGrouping {
 		delete(r.byKey, g.profile.FingerprintKey())
 	} else {

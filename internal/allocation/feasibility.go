@@ -27,9 +27,9 @@ import (
 //     no dedicated replay pass is needed, and after a commit the
 //     checkpoints covering the unchanged prefix stay valid.
 //  3. Per-unit input loads are pure functions of (profile, publisher
-//     stats); they are memoized in the shared load cache under a
-//     mutex, so concurrent probes only ever read or idempotently write
-//     identical values.
+//     stats); committed units carry the value memoized on the Unit by
+//     the CRAM coordinator (see loadOf), so concurrent probes pay a
+//     plain field read and never write shared state for it.
 //
 // probe is safe for concurrent use (CRAM's speculative binary-search
 // evaluation runs probes in parallel), and each probe can additionally
@@ -43,11 +43,9 @@ type feasEngine struct {
 	pubs     map[string]*bitvector.PublisherStats
 	capacity int
 
-	// mu guards inCache and ckpts, the two structures concurrent probes
-	// share mutably.
-	mu      sync.Mutex
-	inCache map[string]bitvector.Load
-	ckpts   []feasCkpt // ascending by pos; states are immutable once stored
+	// mu guards ckpts, the one structure concurrent probes share mutably.
+	mu    sync.Mutex
+	ckpts []feasCkpt // ascending by pos; states are immutable once stored
 
 	version int
 	base    []*Unit // the committed pool in BIN PACKING order
@@ -69,8 +67,8 @@ type feasCkpt struct {
 const maxCkptBrokers = 256
 
 func newFeasEngine(brokers []*BrokerSpec, pubs map[string]*bitvector.PublisherStats,
-	capacity int, inCache map[string]bitvector.Load) *feasEngine {
-	return &feasEngine{brokers: brokers, pubs: pubs, capacity: capacity, inCache: inCache}
+	capacity int) *feasEngine {
+	return &feasEngine{brokers: brokers, pubs: pubs, capacity: capacity}
 }
 
 // reset points the engine at a new committed base pool. Checkpoints whose
@@ -103,21 +101,19 @@ func (e *feasEngine) reset(base []*Unit, version int) {
 	}
 }
 
-// loadOf returns the unit's input-side load from the shared cache,
-// computing and memoizing it on first use. Safe for concurrent probes:
-// EstimateLoad is pure, so racing writers store identical values.
+// loadOf returns the unit's input-side load. Committed units carry the
+// value memoized on the Unit itself (written by the CRAM coordinator at
+// pool ingestion and at merge commit), so the replay loop pays a plain
+// field read — not a lock plus a lookup in an ever-growing string-keyed
+// map, which dominated large-pool probe profiles. Units without the
+// memo (per-probe hypothetical merges) are computed on the fly and
+// deliberately NOT memoized here: speculative probes run on worker
+// goroutines, and writing a shared unit's memo from them would race.
 func (e *feasEngine) loadOf(u *Unit) bitvector.Load {
-	e.mu.Lock()
-	l, ok := e.inCache[u.ID]
-	e.mu.Unlock()
-	if ok {
-		return l
+	if u.inLoadOK {
+		return u.inLoad
 	}
-	l = bitvector.EstimateLoad(u.Profile, e.pubs)
-	e.mu.Lock()
-	e.inCache[u.ID] = l
-	e.mu.Unlock()
-	return l
+	return bitvector.EstimateLoad(u.Profile, e.pubs)
 }
 
 // recordCkpt stores a snapshot of states as the packing outcome of the
@@ -260,8 +256,14 @@ func (e *feasEngine) probe(removed map[*Unit]bool, added []*Unit, workers int) b
 // Profile-guided design note: a placement averages ~70 failed fits of
 // ~70ns each before succeeding (the leading brokers are full), so the
 // scan is worth splitting but a placement is only ~5µs of work — channel
-// hand-offs would eat the gain, hence spin-waits with a Gosched fallback
-// that keeps single-core machines live.
+// hand-offs would eat the gain. Waiters therefore spin optimistically
+// for a bounded budget — on a multi-core machine the partner is already
+// running and answers within it — and park on a condition variable when
+// the budget expires, which is the oversubscribed case (more workers
+// than cores, or a descheduled partner) where continuing to spin would
+// burn the very core the partner needs. The unbounded spin this
+// replaces pessimized low-core machines so badly that the 1-CPU
+// container measured parallel == serial.
 type probeTeam struct {
 	states []*brokerState
 	pubs   map[string]*bitvector.PublisherStats
@@ -277,6 +279,16 @@ type probeTeam struct {
 	u     *Unit
 	uIn   bitvector.Load
 	res   []placeResult
+
+	// mu guards the two condition variables of the slow path: workers
+	// park on roundCond awaiting the next round increment, the
+	// coordinator parks on doneCond awaiting the round's last scan. The
+	// predicates are the atomics above, always re-checked under mu, and
+	// every signaller locks mu around its Broadcast after updating the
+	// atomic — the monitor pattern that makes a lost wakeup impossible.
+	mu        sync.Mutex
+	roundCond *sync.Cond
+	doneCond  *sync.Cond
 }
 
 // placeResult is one worker's first fit within its residue class, padded
@@ -289,6 +301,8 @@ type placeResult struct {
 
 func newProbeTeam(states []*brokerState, pubs map[string]*bitvector.PublisherStats, w int) *probeTeam {
 	t := &probeTeam{states: states, pubs: pubs, w: w, res: make([]placeResult, w)}
+	t.roundCond = sync.NewCond(&t.mu)
+	t.doneCond = sync.NewCond(&t.mu)
 	for i := 1; i < w; i++ {
 		//greenvet:goroutine-ok each round joins workers via the done counter in place(); release() terminates them through the round/stop protocol and is deferred on every probe exit path
 		go t.worker(i)
@@ -296,17 +310,26 @@ func newProbeTeam(states []*brokerState, pubs map[string]*bitvector.PublisherSta
 	return t
 }
 
-// spinUntil busy-waits for cond, yielding the processor regularly so
-// oversubscribed schedules (more workers than cores) keep making progress.
-func spinUntil(cond func() bool) {
-	for i := 0; ; i++ {
+// spinBudget bounds the optimistic busy-wait before a waiter falls back
+// to parking on its condition variable. ~4k iterations is tens of
+// microseconds — several full placement rounds — so on an unloaded
+// multi-core machine the slow path never triggers.
+const spinBudget = 4096
+
+// spinUntil busy-waits for cond for at most spinBudget iterations,
+// yielding the processor regularly so oversubscribed schedules keep
+// making progress, and reports whether cond held within the budget. On
+// false the caller must fall back to a parked wait.
+func spinUntil(cond func() bool) bool {
+	for i := 0; i < spinBudget; i++ {
 		if cond() {
-			return
+			return true
 		}
 		if i%64 == 63 {
 			runtime.Gosched()
 		}
 	}
+	return false
 }
 
 // scan finds worker i's first fit for the published unit.
@@ -324,12 +347,24 @@ func (t *probeTeam) scan(i int) {
 
 func (t *probeTeam) worker(i int) {
 	for r := int64(1); ; r++ {
-		spinUntil(func() bool { return t.round.Load() >= r })
+		if !spinUntil(func() bool { return t.round.Load() >= r }) {
+			t.mu.Lock()
+			for t.round.Load() < r {
+				//greenvet:lock-ok Cond.Wait atomically releases mu while parked and reacquires before returning; holding it across Wait is the sync.Cond contract
+				t.roundCond.Wait()
+			}
+			t.mu.Unlock()
+		}
 		if t.stop.Load() {
 			return
 		}
 		t.scan(i)
-		t.done.Add(1)
+		if t.done.Add(1) == int64(t.w-1) {
+			// Last scan of the round: wake the coordinator if it parked.
+			t.mu.Lock()
+			t.doneCond.Broadcast()
+			t.mu.Unlock()
+		}
 	}
 }
 
@@ -339,9 +374,19 @@ func (t *probeTeam) place(u *Unit, uIn bitvector.Load) bool {
 	t.u, t.uIn = u, uIn
 	t.done.Store(0)
 	t.round.Add(1)
+	t.mu.Lock()
+	t.roundCond.Broadcast()
+	t.mu.Unlock()
 	t.scan(0)
 	want := int64(t.w - 1)
-	spinUntil(func() bool { return t.done.Load() == want })
+	if !spinUntil(func() bool { return t.done.Load() == want }) {
+		t.mu.Lock()
+		for t.done.Load() != want {
+			//greenvet:lock-ok Cond.Wait atomically releases mu while parked and reacquires before returning; holding it across Wait is the sync.Cond contract
+			t.doneCond.Wait()
+		}
+		t.mu.Unlock()
+	}
 	best := t.res[0].broker
 	inter := t.res[0].inter
 	for i := 1; i < t.w; i++ {
@@ -358,8 +403,12 @@ func (t *probeTeam) place(u *Unit, uIn bitvector.Load) bool {
 }
 
 // release ends the worker goroutines; the probe's deferred call runs it on
-// every exit path, including infeasible early returns.
+// every exit path, including infeasible early returns. The broadcast
+// reaches workers parked on the round condition as well as spinning ones.
 func (t *probeTeam) release() {
 	t.stop.Store(true)
 	t.round.Add(1)
+	t.mu.Lock()
+	t.roundCond.Broadcast()
+	t.mu.Unlock()
 }

@@ -45,8 +45,12 @@ func (bs *brokerState) clone() *brokerState {
 }
 
 // unitInLoad returns the unit's input-side load (traffic matching its
-// profile), caching it on first use.
+// profile), preferring the memo on the unit, then the string-keyed
+// cache, caching on first use.
 func unitInLoad(u *Unit, pubs map[string]*bitvector.PublisherStats, cache map[string]bitvector.Load) bitvector.Load {
+	if u.inLoadOK {
+		return u.inLoad
+	}
 	if l, ok := cache[u.ID]; ok {
 		return l
 	}
@@ -55,13 +59,14 @@ func unitInLoad(u *Unit, pubs map[string]*bitvector.PublisherStats, cache map[st
 	return l
 }
 
-// warmInLoadCache fills the input-load cache for every unit up front, the
-// load estimations fanned out across workers. The cache itself is written
-// serially (maps are not safe for concurrent writes); the estimates are
-// pure functions of (profile, pubs), so worker count cannot change the
-// cached values.
-func warmInLoadCache(units []*Unit, pubs map[string]*bitvector.PublisherStats,
-	cache map[string]bitvector.Load, workers int) {
+// warmInLoadCache memoizes every unit's input-side load up front, the
+// load estimations fanned out across workers. The memos themselves are
+// written serially from the caller's goroutine; the estimates are pure
+// functions of (profile, pubs), so worker count cannot change the
+// memoized values. Existing memos are overwritten: a unit recycled from
+// an earlier run with different publisher statistics must not keep its
+// old load.
+func warmInLoadCache(units []*Unit, pubs map[string]*bitvector.PublisherStats, workers int) {
 	loads := make([]bitvector.Load, len(units))
 	parwork.Run(len(units), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -69,7 +74,7 @@ func warmInLoadCache(units []*Unit, pubs map[string]*bitvector.PublisherStats,
 		}
 	})
 	for i, u := range units {
-		cache[u.ID] = loads[i]
+		u.inLoad, u.inLoadOK = loads[i], true
 	}
 }
 
@@ -218,11 +223,6 @@ func FitsBroker(spec *BrokerSpec, units []*Unit, pubs map[string]*bitvector.Publ
 func sortUnitsByBandwidthDesc(units []*Unit) []*Unit {
 	out := make([]*Unit, len(units))
 	copy(out, units)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Load.Bandwidth != out[j].Load.Bandwidth {
-			return out[i].Load.Bandwidth > out[j].Load.Bandwidth
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return unitBefore(out[i], out[j]) })
 	return out
 }

@@ -61,7 +61,7 @@ func TestFeasEngineMatchesFromScratch(t *testing.T) {
 	units, pubs := testWorkload(7, 6, 30, 10, 100)
 	brokers := sortBrokersByCapacity(testBrokers(8, 18_000, stdDelay()))
 	base := sortUnitsByBandwidthDesc(units)
-	eng := newFeasEngine(brokers, pubs, testCap, make(map[string]bitvector.Load))
+	eng := newFeasEngine(brokers, pubs, testCap)
 	version := 1
 	eng.reset(base, version)
 	rng := rand.New(rand.NewSource(99))

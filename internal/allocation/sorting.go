@@ -8,6 +8,17 @@ import (
 	"github.com/greenps/greenps/internal/parwork"
 )
 
+// unitBefore is the BIN PACKING pool order — bandwidth descending, ties
+// by ID ascending. The full sort (sortUnitsByBandwidthDesc) and CRAM's
+// incremental pool repair (cramRun.applyPool) share it: both must agree
+// exactly for a repaired pool to be byte-identical to a rebuilt one.
+func unitBefore(a, b *Unit) bool {
+	if a.Load.Bandwidth != b.Load.Bandwidth {
+		return a.Load.Bandwidth > b.Load.Bandwidth
+	}
+	return a.ID < b.ID
+}
+
 // FBF is the Fastest Broker First algorithm (Section IV-A): brokers are
 // sorted in descending order of total available output bandwidth, and
 // subscriptions are drawn from the pool in random order, each assigned to
@@ -44,9 +55,8 @@ func (f *FBF) Allocate(in *Input) (*Assignment, error) {
 	}
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
 	brokers := sortBrokersByCapacity(in.Brokers)
-	cache := make(map[string]bitvector.Load, len(units))
-	warmInLoadCache(units, in.Publishers, cache, parwork.Workers(f.Parallelism))
-	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, cache)
+	warmInLoadCache(units, in.Publishers, parwork.Workers(f.Parallelism))
+	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, make(map[string]bitvector.Load))
 	if err != nil {
 		return nil, fmt.Errorf("FBF: %w", err)
 	}
@@ -77,9 +87,8 @@ func (bp *BinPacking) Allocate(in *Input) (*Assignment, error) {
 	}
 	units := sortUnitsByBandwidthDesc(in.Units)
 	brokers := sortBrokersByCapacity(in.Brokers)
-	cache := make(map[string]bitvector.Load, len(units))
-	warmInLoadCache(units, in.Publishers, cache, parwork.Workers(bp.Parallelism))
-	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, cache)
+	warmInLoadCache(units, in.Publishers, parwork.Workers(bp.Parallelism))
+	a, err := packFirstFit(units, brokers, in.Publishers, in.ProfileCapacity, make(map[string]bitvector.Load))
 	if err != nil {
 		return nil, fmt.Errorf("BINPACKING: %w", err)
 	}

@@ -65,6 +65,25 @@ type Unit struct {
 	// the matching-delay model: one per real subscription, one per child
 	// broker (whose aggregate filter the parent stores once).
 	Filters int
+
+	// inLoad memoizes EstimateLoad(Profile, pubs) — the unit's input-side
+	// traffic — for the feasibility engine's replay loop, which reads it
+	// once per unit per probe. CRAM writes it from the coordinator only
+	// (at pool ingestion and at merge commit), so concurrent probes see a
+	// settled value; probes never write it themselves (a hypothetical
+	// unit's load is computed per probe without memoizing). The memo is
+	// refreshed unconditionally at the start of every run, so a unit
+	// reused across runs with different publisher statistics cannot leak
+	// a stale load.
+	inLoad   bitvector.Load
+	inLoadOK bool
+}
+
+// memoInputLoad computes and stores the unit's input-side load.
+// Coordinator-only: must not race with probes reading the memo.
+func (u *Unit) memoInputLoad(pubs map[string]*bitvector.PublisherStats) {
+	u.inLoad = bitvector.EstimateLoad(u.Profile, pubs)
+	u.inLoadOK = true
 }
 
 // NewSubscriptionUnit wraps a single subscription into a unit.
@@ -86,6 +105,11 @@ func NewSubscriptionUnit(id string, sub *message.Subscription, profile *bitvecto
 // OR together, loads and filter counts add.
 func MergeUnits(id string, capacity int, units ...*Unit) *Unit {
 	out := &Unit{ID: id, Profile: bitvector.NewProfile(capacity)}
+	members := 0
+	for _, u := range units {
+		members += len(u.Members)
+	}
+	out.Members = make([]Member, 0, members)
 	for _, u := range units {
 		out.Members = append(out.Members, u.Members...)
 		out.Profile.Or(u.Profile)

@@ -60,6 +60,56 @@ func TestPlanEquivalence(t *testing.T) {
 	}
 }
 
+// TestPlanEquivalenceAcrossShards extends the byte-identity check to
+// CRAM's sharded exhaustive search: the serialized plan must not change
+// with the shard count, the spill budget, or the worker count. The pool
+// gathered here is far below the auto-sharding floor, so every shard
+// count is forced explicitly; plans come out byte-identical because the
+// shard prune is strictly a subset of the per-pair bound prune and the
+// spill stream replays the exact heap pop order.
+func TestPlanEquivalenceAcrossShards(t *testing.T) {
+	addr := liveOverlay(t)
+	infos, err := croc.Gather(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Config{
+		Algorithm: core.AlgCRAMIOS, ExhaustiveSearch: true, Shards: 1,
+		Seed: 42, Clock: stepClock(),
+	}
+	ref, err := core.ComputePlan(infos, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := croc.WriteJSON(&want, ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 4} {
+			for _, budget := range []int{0, 4096} {
+				cfg := base
+				cfg.Shards = shards
+				cfg.Parallelism = workers
+				cfg.SpillBudgetBytes = budget
+				cfg.Clock = stepClock()
+				plan, err := core.ComputePlan(infos, cfg)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d budget=%d: %v", shards, workers, budget, err)
+				}
+				var got bytes.Buffer
+				if err := croc.WriteJSON(&got, plan); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want.Bytes(), got.Bytes()) {
+					t.Errorf("shards=%d workers=%d budget=%d: plan differs from unsharded serial plan:\n--- want ---\n%s\n--- got ---\n%s",
+						shards, workers, budget, want.String(), got.String())
+				}
+			}
+		}
+	}
+}
+
 // TestReconfigureTimedTimeline runs the full live round trip with a
 // timeline and checks the rendered reconfiguration history names every
 // phase.

@@ -1,0 +1,310 @@
+package extsort
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// collect drains an iterator into owned copies.
+func collect(t *testing.T, it *Iterator) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+// refSort is the model: a stable in-memory sort of the full input.
+func refSort(recs [][]byte, less func(a, b []byte) bool) [][]byte {
+	out := make([][]byte, len(recs))
+	copy(out, recs)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func randRecords(rng *rand.Rand, n, maxLen int) [][]byte {
+	recs := make([][]byte, n)
+	for i := range recs {
+		rec := make([]byte, 1+rng.Intn(maxLen))
+		for j := range rec {
+			// Small alphabet forces plenty of duplicate records, which is
+			// exactly where stability and tie-breaking matter.
+			rec[j] = byte('a' + rng.Intn(4))
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// TestDifferentialSpillVsMemory is the core contract: with a budget tiny
+// enough to force many spilled runs, the merged order is byte-identical
+// to the pure in-memory stable sort of the same input.
+func TestDifferentialSpillVsMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	less := func(a, b []byte) bool { return bytes.Compare(a, b) < 0 }
+	for trial := 0; trial < 20; trial++ {
+		recs := randRecords(rng, 500+rng.Intn(1500), 40)
+		want := refSort(recs, less)
+
+		s := NewSorter(Config{MemBudget: MinMemBudget, Dir: t.TempDir()})
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		if s.Runs() == 0 {
+			t.Fatalf("trial %d: expected spilled runs under a %d-byte budget", trial, MinMemBudget)
+		}
+		it, err := s.Sort()
+		if err != nil {
+			t.Fatalf("Sort: %v", err)
+		}
+		got := collect(t, it)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d records out, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("trial %d record %d: got %q want %q", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInMemoryPathNoDisk verifies a sort within budget spills nothing and
+// still produces the model order.
+func TestInMemoryPathNoDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := randRecords(rng, 1000, 24)
+	less := func(a, b []byte) bool { return bytes.Compare(a, b) < 0 }
+
+	s := NewSorter(Config{Dir: t.TempDir()})
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if s.Runs() != 0 {
+		t.Fatalf("spilled %d runs under the default budget", s.Runs())
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	got := collect(t, it)
+	want := refSort(recs, less)
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStabilityAcrossSpill checks the addition-order tie-break: records
+// comparing equal under Less must come back in the order they went in,
+// even when the equal group straddles several spilled runs.
+func TestStabilityAcrossSpill(t *testing.T) {
+	// Key is the first byte only; the payload records insertion order.
+	less := func(a, b []byte) bool { return a[0] < b[0] }
+	s := NewSorter(Config{Less: less, MemBudget: MinMemBudget, Dir: t.TempDir()})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("%c:%06d", 'a'+byte(i%3), i))
+		if err := s.Add(rec); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if s.Runs() < 2 {
+		t.Fatalf("need >=2 runs to exercise cross-run ties, got %d", s.Runs())
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	prevKey, prevSeq := byte(0), -1
+	count := 0
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		var seq int
+		fmt.Sscanf(string(rec[2:]), "%d", &seq)
+		if rec[0] < prevKey {
+			t.Fatalf("keys out of order: %q after key %c", rec, prevKey)
+		}
+		if rec[0] == prevKey && seq <= prevSeq {
+			t.Fatalf("tie broken out of addition order: seq %d after %d", seq, prevSeq)
+		}
+		if rec[0] != prevKey {
+			prevSeq = -1
+		}
+		prevKey, prevSeq = rec[0], seq
+	}
+	if count != n {
+		t.Fatalf("got %d records, want %d", count, n)
+	}
+}
+
+// TestRunFilesRemoved verifies the spilled temp files are gone once the
+// iterator is drained (Next's final ok=false closes implicitly).
+func TestRunFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSorter(Config{MemBudget: MinMemBudget, Dir: dir})
+	rng := rand.New(rand.NewSource(10))
+	for _, r := range randRecords(rng, 2000, 32) {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("expected spills")
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	collect(t, it)
+	left, err := filepath.Glob(filepath.Join(dir, "extsort-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("run files left behind: %v", left)
+	}
+	// A second Close is a no-op, and Close before draining also cleans up.
+	it.Close()
+
+	s2 := NewSorter(Config{MemBudget: MinMemBudget, Dir: dir})
+	for _, r := range randRecords(rng, 2000, 32) {
+		if err := s2.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	it2, err := s2.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	if _, ok, err := it2.Next(); err != nil || !ok {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	it2.Close()
+	left, _ = filepath.Glob(filepath.Join(dir, "extsort-*.run"))
+	if len(left) != 0 {
+		t.Fatalf("run files left after early Close: %v", left)
+	}
+}
+
+// TestMisuse covers the API edges: Add after Sort, double Sort, oversized
+// records, and an empty sorter.
+func TestMisuse(t *testing.T) {
+	s := NewSorter(Config{Dir: t.TempDir()})
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("empty Sort: %v", err)
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("empty sorter yielded a record")
+	}
+	if err := s.Add([]byte("x")); err == nil {
+		t.Fatal("Add after Sort succeeded")
+	}
+	if _, err := s.Sort(); err == nil {
+		t.Fatal("second Sort succeeded")
+	}
+
+	s2 := NewSorter(Config{Dir: t.TempDir()})
+	if err := s2.Add(make([]byte, maxRecordLen+1)); err == nil {
+		t.Fatal("oversized Add succeeded")
+	}
+}
+
+// TestIteratorSteadyStateAllocs pins the merge loop's per-record cost:
+// once the heap is built and the out buffer warmed, Next on the spill
+// path must stay allocation-free (pooled scratch, reused out buffer).
+func TestIteratorSteadyStateAllocs(t *testing.T) {
+	s := NewSorter(Config{MemBudget: MinMemBudget, Dir: t.TempDir()})
+	rng := rand.New(rand.NewSource(11))
+	for _, r := range randRecords(rng, 5000, 16) {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("expected spills")
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	defer it.Close()
+	// Warm the out buffer and the readers' record scratch.
+	for i := 0; i < 100; i++ {
+		if _, ok, err := it.Next(); !ok || err != nil {
+			t.Fatalf("warmup Next: ok=%v err=%v", ok, err)
+		}
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, ok, err := it.Next(); !ok || err != nil {
+			t.Fatalf("Next: ok=%v err=%v", ok, err)
+		}
+	})
+	// The only allowed allocations are the rare buffered-file refills
+	// inside the OS read path; the Go-level loop itself must not allocate.
+	if avg > 0.01 {
+		t.Fatalf("steady-state Next allocates %.3f allocs/op", avg)
+	}
+}
+
+// TestDirFallback exercises Dir="" (os.TempDir) so the default config is
+// known-good too.
+func TestDirFallback(t *testing.T) {
+	// Snapshot pre-existing run files: a process killed mid-sort (e.g. a
+	// test binary hitting its timeout) cannot run Iterator.Close, so the
+	// shared TempDir may hold orphans this test didn't create. Only files
+	// that appear during this test count as leaks.
+	pre, _ := filepath.Glob(filepath.Join(os.TempDir(), "extsort-*.run"))
+	preexisting := make(map[string]bool, len(pre))
+	for _, f := range pre {
+		preexisting[f] = true
+	}
+	s := NewSorter(Config{MemBudget: MinMemBudget})
+	for i := 0; i < 3000; i++ {
+		if err := s.Add([]byte(fmt.Sprintf("rec-%06d", 2999-i))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	got := collect(t, it)
+	if len(got) != 3000 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if !bytes.Equal(got[0], []byte("rec-000000")) || !bytes.Equal(got[2999], []byte("rec-002999")) {
+		t.Fatalf("order wrong: first %q last %q", got[0], got[2999])
+	}
+	left, _ := filepath.Glob(filepath.Join(os.TempDir(), "extsort-*.run"))
+	for _, f := range left {
+		if !preexisting[f] {
+			t.Fatalf("run file left in TempDir: %s", f)
+		}
+	}
+}

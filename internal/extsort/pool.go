@@ -1,0 +1,83 @@
+package extsort
+
+import "sync"
+
+// scratchPool recycles the sorter's I/O and record buffers through
+// per-size-class freelists, the same fixed-block-cache discipline as
+// transport.BufPool: a buffer is owned by exactly one holder between
+// getScratch and putScratch, and the classes are bounded so a burst of
+// wide merges leaves at most scratchMaxPerClass buffers per class
+// cached. Run writers and readers borrow one ioBufSize buffer each for
+// the lifetime of the run file plus one record-scratch buffer that grows
+// by class as larger records stream through; everything is returned at
+// Close. One package-level pool is shared by all Sorters — merge fan-in
+// is bounded by runs-per-sorter, so contention is not a concern and
+// sharing lets consecutive sorts in one process reuse warm buffers.
+var scratch scratchPool
+
+const (
+	// scratchMinShift sizes the smallest class at 1<<scratchMinShift.
+	scratchMinShift = 12 // 4 KiB
+	// scratchClasses spans 4 KiB .. 1 MiB in power-of-two steps, so the
+	// largest class holds a maxRecordLen record exactly.
+	scratchClasses = 9
+	// scratchMaxPerClass bounds each freelist.
+	scratchMaxPerClass = 32
+	// ioBufSize is the buffered-I/O window for run readers and writers.
+	ioBufSize = 64 << 10
+)
+
+type scratchPool struct {
+	mu      sync.Mutex
+	classes [scratchClasses][][]byte
+}
+
+// scratchClassFor returns the smallest class index covering n bytes, or
+// -1 when n exceeds the largest class.
+func scratchClassFor(n int) int {
+	size := 1 << scratchMinShift
+	for c := 0; c < scratchClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// getScratch returns a zero-length buffer with capacity at least n. The
+// caller owns it until putScratch.
+func getScratch(n int) []byte {
+	c := scratchClassFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	scratch.mu.Lock()
+	if fl := scratch.classes[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		fl[len(fl)-1] = nil
+		scratch.classes[c] = fl[:len(fl)-1]
+		scratch.mu.Unlock()
+		return b[:0]
+	}
+	scratch.mu.Unlock()
+	return make([]byte, 0, 1<<(scratchMinShift+c))
+}
+
+// putScratch returns a buffer obtained from getScratch. Buffers whose
+// capacity is not an exact class size and buffers arriving at a full
+// class are left for the allocator. nil is a no-op.
+func putScratch(b []byte) {
+	if b == nil {
+		return
+	}
+	c := scratchClassFor(cap(b))
+	if c < 0 || cap(b) != 1<<(scratchMinShift+c) {
+		return
+	}
+	scratch.mu.Lock()
+	if len(scratch.classes[c]) < scratchMaxPerClass {
+		scratch.classes[c] = append(scratch.classes[c], b[:0])
+	}
+	scratch.mu.Unlock()
+}
