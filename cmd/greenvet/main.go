@@ -16,9 +16,24 @@
 // byte-identical at any worker count: diagnostics are sorted on a total
 // order before printing.
 //
-// -json renders the diagnostics as a JSON array with a stable field
-// order (analyzer, file, line, col, message — then sorted by position),
-// so runs diff cleanly; -json-file additionally writes the same document
+// -json renders the diagnostics as a JSON document whose schema is
+// stable by construction — it is rendered by hand (renderJSON), not by
+// struct marshaling, so the field order is fixed by this code and
+// pinned by a golden-file test:
+//
+//	{
+//	  "mode": "findings",            // or "audit" under -audit
+//	  "count": 2,                    // len(diagnostics)
+//	  "diagnostics": [
+//	    {"analyzer": "...", "file": "...", "line": 1, "col": 1, "message": "..."},
+//	    ...
+//	  ]
+//	}
+//
+// Diagnostics are sorted on the framework's total order (file, line,
+// col, analyzer, message) before rendering, so two runs over the same
+// tree produce byte-identical documents at any -par worker count and
+// runs diff cleanly; -json-file additionally writes the same document
 // to a file, which CI uploads as an artifact even when the run fails.
 //
 // Usage:

@@ -1,0 +1,849 @@
+package callgraph
+
+// This file is the ownership half of the summary layer: per-function
+// facts about what each function does with pooled resources (transport
+// BufPool buffers, extsort scratch, sync.Pool values), the
+// interprocedural substrate under ownercheck (DESIGN.md §15).
+//
+// The model is deliberately small. A function either *borrows* a
+// parameter (uses it without retaining — the default) or *consumes* it
+// (releases it to a pool, or stores it somewhere that outlives the
+// call; from the caller's side the two are the same: the caller no
+// longer owns the value). A result position either transfers a pooled
+// value out (*owned return*) or does not. Facts come from three
+// sources, in priority order:
+//
+//  1. A curated registry of the program's acquire/release primitives
+//     (BufPool.Get/Put, extsort getScratch/putScratch, sync.Pool
+//     Get/Put). Registry entries pin their node's summary: the
+//     primitives' bodies traffic in raw freelists and must not be
+//     re-inferred from themselves. transport.FrameEncoder is pooled
+//     too but carries its roles as in-source contracts — its
+//     ownership (buffers accumulate in the encoder until Release) is
+//     a design decision, not an inferable fact.
+//  2. In-source contract directives: `//greenvet:owner consumes(b)
+//     <why>` on the line above (or on) a function declaration, with
+//     clauses consumes(x) / borrows(x) / transfers(x) /
+//     transfers(return) followed by a mandatory justification. A
+//     contract's clauses pin the named parameters; clauses naming
+//     body locals license escapes inside ownercheck's lifetime
+//     analysis (the stored value is declared transferred).
+//  3. Bottom-up inference over SCCs, like the other summaries: a
+//     parameter passed whole to a consuming callee is consumed; a
+//     returned local that was acquired (and never escaped into a
+//     heap location) makes that result position an owned return,
+//     including through composite literals (`&runWriter{buf:
+//     getScratch(n)}`) and direct call forwarding.
+//
+// Inference is one-sided by design, matching the rest of the graph:
+// a missing fact can hide a finding, never invent one. In particular
+// releasing a *field* of a parameter (`putScratch(w.buf)`) does NOT
+// infer `consumes(w)` — field-level tracking would cascade false
+// double-releases through struct-heavy code like the extsort merge
+// layer — so functions with that shape carry explicit contracts,
+// and the post-fixpoint validation checks each consumes/transfers
+// clause against evidence so a contract cannot silently rot.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/scope"
+)
+
+// OwnerMode is what a function does with one incoming value position.
+type OwnerMode uint8
+
+const (
+	// OwnerBorrows: the function uses the value without retaining or
+	// releasing it; the caller still owns it afterward. The default.
+	OwnerBorrows OwnerMode = iota
+	// OwnerConsumes: the function releases the value to a pool or
+	// stores it somewhere that outlives the call; the caller must not
+	// use or release it afterward.
+	OwnerConsumes
+)
+
+// OwnerClause is one parsed contract clause, e.g. consumes(b).
+type OwnerClause struct {
+	Verb string // "consumes", "borrows", or "transfers"
+	Arg  string // a parameter/receiver/local name, or "return"
+}
+
+// OwnerIssue is a malformed or unsupported-by-evidence contract,
+// reported by ownercheck at the directive site.
+type OwnerIssue struct {
+	Pos token.Pos
+	Msg string
+}
+
+// OwnerSummary holds one function's ownership facts after Summarize.
+type OwnerSummary struct {
+	// Recv is the receiver's mode (OwnerBorrows for non-methods).
+	Recv OwnerMode
+	// Params holds each parameter position's mode.
+	Params []OwnerMode
+	// Returns marks each result position that transfers a pooled value
+	// out: the caller owns it and must release it (or pass it on).
+	Returns []bool
+	// HasContract reports an in-source //greenvet:owner directive.
+	HasContract bool
+	// AnchorPos is the declaration anchor ownercheck uses to mark the
+	// contract directive live for -audit (the function's name or
+	// literal position; the framework resolves line/line-1 itself).
+	AnchorPos token.Pos
+	// Clauses are the contract's parsed clauses, in source order.
+	Clauses []OwnerClause
+	// Issues are contract defects found at parse or validation time.
+	Issues []OwnerIssue
+
+	// pinned stops inference entirely (registry primitives).
+	pinned bool
+	// pinnedBorrow names positions a borrows(x) clause froze, so
+	// inference cannot promote them to OwnerConsumes.
+	pinnedBorrow map[string]bool
+}
+
+// Licenses reports whether a contract clause declares the named value
+// transferred or consumed — the escape license ownercheck consults
+// before flagging a store/send/spawn of a pooled local.
+func (o *OwnerSummary) Licenses(name string) bool {
+	if o == nil {
+		return false
+	}
+	for _, c := range o.Clauses {
+		if c.Arg == name && (c.Verb == "transfers" || c.Verb == "consumes") {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsumesArg reports whether the callee consumes argument position i
+// (variadic positions fold onto the last parameter).
+func (o *OwnerSummary) ConsumesArg(i int) bool {
+	if o == nil || len(o.Params) == 0 {
+		return false
+	}
+	if i >= len(o.Params) {
+		i = len(o.Params) - 1
+	}
+	return o.Params[i] == OwnerConsumes
+}
+
+// OwnedReturn reports whether result position i transfers ownership out.
+func (o *OwnerSummary) OwnedReturn(i int) bool {
+	return o != nil && i < len(o.Returns) && o.Returns[i]
+}
+
+// ownerRegistry returns the pinned summary for one of the program's
+// acquire/release primitives, or ok=false. Matching is by package path,
+// receiver type name, and method name, in the LockOp style, so it works
+// for in-program nodes (transport, extsort) and external ones (sync).
+func ownerRegistry(fn *types.Func) (recv OwnerMode, params []OwnerMode, returns []bool, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return 0, nil, nil, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return 0, nil, nil, false
+	}
+	pkgPath := fn.Pkg().Path()
+	recvType := ""
+	if sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			recvType = named.Obj().Name()
+		}
+	}
+	blank := func(consumesFirst bool) (OwnerMode, []OwnerMode, []bool) {
+		p := make([]OwnerMode, sig.Params().Len())
+		if consumesFirst && len(p) > 0 {
+			p[0] = OwnerConsumes
+		}
+		r := make([]bool, sig.Results().Len())
+		return OwnerBorrows, p, r
+	}
+	isPool := (pkgPath == scope.TransportPath || pkgPath == "fixture/ownercheck") && recvType == "BufPool" ||
+		pkgPath == "sync" && recvType == "Pool"
+	switch {
+	case isPool && fn.Name() == "Get":
+		recv, params, returns = blank(false)
+		if len(returns) > 0 {
+			returns[0] = true
+		}
+		return recv, params, returns, true
+	case isPool && fn.Name() == "Put":
+		recv, params, returns = blank(true)
+		return recv, params, returns, true
+	case pkgPath == scope.ExtsortPath && recvType == "" && fn.Name() == "getScratch":
+		recv, params, returns = blank(false)
+		if len(returns) > 0 {
+			returns[0] = true
+		}
+		return recv, params, returns, true
+	case pkgPath == scope.ExtsortPath && recvType == "" && fn.Name() == "putScratch":
+		recv, params, returns = blank(true)
+		return recv, params, returns, true
+	}
+	return 0, nil, nil, false
+}
+
+// OwnerTrackable reports whether a value of type t is worth tracking as
+// a potentially pooled resource: byte slices and (pointers to) named
+// structs. Interfaces, basics (including error and string), maps,
+// channels, and funcs are excluded, which keeps err results and generic
+// plumbing out of the lattice.
+func OwnerTrackable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		b, isBasic := u.Elem().Underlying().(*types.Basic)
+		return isBasic && b.Kind() == types.Uint8
+	case *types.Pointer:
+		_, isStruct := u.Elem().Underlying().(*types.Struct)
+		return isStruct
+	case *types.Struct:
+		_, isNamed := t.(*types.Named)
+		return isNamed
+	}
+	return false
+}
+
+// ownerClauseRe matches one contract clause token.
+var ownerClauseRe = regexp.MustCompile(`^(consumes|borrows|transfers)\(([A-Za-z0-9_]+)\)$`)
+
+// ownerDirective is one //greenvet:owner comment found in source.
+type ownerDirective struct {
+	pos  token.Pos
+	text string // everything after "greenvet:owner"
+}
+
+// ownerDirectives indexes every //greenvet:owner comment by package,
+// file, and line (mirroring framework.parseDirectives, which owns the
+// same comments for suppression/audit purposes).
+func (g *Graph) ownerDirectives() map[*framework.Package]map[string]map[int]*ownerDirective {
+	out := make(map[*framework.Package]map[string]map[int]*ownerDirective)
+	for _, pkg := range g.Packages {
+		byFile := make(map[string]map[int]*ownerDirective)
+		out[pkg] = byFile
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, " ")
+					if !strings.HasPrefix(text, "greenvet:owner ") && text != "greenvet:owner" {
+						continue
+					}
+					rest := strings.TrimPrefix(text, "greenvet:owner")
+					pos := g.Fset.Position(c.Pos())
+					byLine := byFile[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]*ownerDirective)
+						byFile[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = &ownerDirective{pos: c.Pos(), text: strings.TrimSpace(rest)}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ownerSummarize computes every node's OwnerSummary: registry pins and
+// contracts seed the lattice, then a bottom-up SCC fixpoint infers
+// consumed parameters and owned returns, then contracts are validated
+// against the inferred evidence. Called at the end of Summarize.
+func (g *Graph) ownerSummarize() {
+	dirs := g.ownerDirectives()
+	for _, n := range g.Nodes {
+		g.seedOwner(n, dirs)
+	}
+	for _, scc := range g.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if !n.External() && !n.Owner.pinned && g.ownerUpdate(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		g.validateOwnerContract(n)
+	}
+}
+
+// seedOwner builds n's initial summary from the registry or its contract.
+func (g *Graph) seedOwner(n *Node, dirs map[*framework.Package]map[string]map[int]*ownerDirective) {
+	o := &OwnerSummary{}
+	n.Owner = o
+	if n.sig != nil {
+		o.Params = make([]OwnerMode, n.sig.Params().Len())
+		o.Returns = make([]bool, n.sig.Results().Len())
+	}
+	if n.Obj != nil {
+		if recv, params, returns, ok := ownerRegistry(n.Obj); ok {
+			o.Recv, o.Params, o.Returns = recv, params, returns
+			o.pinned = true
+			return
+		}
+	}
+	if n.External() {
+		return // defaults: borrows everything, owns no returns
+	}
+	anchor := n.anchorPos()
+	pos := g.Fset.Position(anchor)
+	byLine := dirs[n.Pkg][pos.Filename]
+	d := byLine[pos.Line]
+	if d == nil {
+		d = byLine[pos.Line-1]
+	}
+	if d == nil {
+		return
+	}
+	o.HasContract = true
+	o.AnchorPos = anchor
+	g.parseOwnerContract(n, o, d)
+}
+
+// anchorPos is the position the framework's directive lookup resolves
+// against: the declared name for functions, the literal for closures.
+func (n *Node) anchorPos() token.Pos {
+	if n.Obj != nil {
+		return n.Obj.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// parseOwnerContract applies one directive's clauses to the summary.
+func (g *Graph) parseOwnerContract(n *Node, o *OwnerSummary, d *ownerDirective) {
+	// Issues anchor at the declaration, not the comment: that is where
+	// ownercheck reports them, and where a fixture's want can live
+	// without sharing the directive's own comment.
+	issue := func(format string, args ...any) {
+		o.Issues = append(o.Issues, OwnerIssue{Pos: o.AnchorPos, Msg: fmt.Sprintf(format, args...)})
+	}
+	fields := strings.Fields(d.text)
+	i := 0
+	for ; i < len(fields); i++ {
+		m := ownerClauseRe.FindStringSubmatch(fields[i])
+		if m == nil {
+			break
+		}
+		o.Clauses = append(o.Clauses, OwnerClause{Verb: m[1], Arg: m[2]})
+	}
+	if len(o.Clauses) == 0 {
+		issue("//greenvet:owner contract has no clauses; expected consumes(x), borrows(x), transfers(x), or transfers(return)")
+		return
+	}
+	if i == len(fields) {
+		issue("//greenvet:owner contract requires a justification after its clauses")
+	}
+	for _, c := range o.Clauses {
+		if c.Arg == "return" {
+			if c.Verb != "transfers" {
+				issue("owner clause %s(return) is invalid: only transfers(return) is meaningful", c.Verb)
+				continue
+			}
+			for ri := range o.Returns {
+				if OwnerTrackable(n.sig.Results().At(ri).Type()) {
+					o.Returns[ri] = true
+				}
+			}
+			continue
+		}
+		if pi, isParam := n.ownerParamByName(c.Arg); isParam {
+			switch c.Verb {
+			case "consumes", "transfers":
+				if pi < 0 {
+					o.Recv = OwnerConsumes
+				} else {
+					o.Params[pi] = OwnerConsumes
+				}
+			case "borrows":
+				if o.pinnedBorrow == nil {
+					o.pinnedBorrow = make(map[string]bool)
+				}
+				o.pinnedBorrow[c.Arg] = true
+			}
+			continue
+		}
+		if !n.hasLocalNamed(c.Arg) {
+			issue("owner clause %s(%s) names nothing: no parameter, receiver, or local called %q in %s", c.Verb, c.Arg, c.Arg, n.Name)
+		}
+	}
+}
+
+// ownerParamByName resolves a clause argument to a parameter index, or
+// -1 for the receiver; isParam is false when the name matches neither.
+func (n *Node) ownerParamByName(name string) (idx int, isParam bool) {
+	if n.sig == nil {
+		return 0, false
+	}
+	if r := n.sig.Recv(); r != nil && r.Name() == name {
+		return -1, true
+	}
+	for i := 0; i < n.sig.Params().Len(); i++ {
+		if n.sig.Params().At(i).Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// hasLocalNamed reports whether the body declares a variable with the
+// given name (a transfers(local) clause licensing an escape site).
+func (n *Node) hasLocalNamed(name string) bool {
+	found := false
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		id, isIdent := m.(*ast.Ident)
+		if !isIdent || id.Name != name {
+			return true
+		}
+		if _, isVar := n.Pkg.Info.Defs[id].(*types.Var); isVar {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ownerUpdate recomputes n's inferred facts from its body and current
+// callee summaries; reports whether anything changed. Monotone: Params
+// only move Borrows→Consumes, Returns only false→true.
+func (g *Graph) ownerUpdate(n *Node) bool {
+	o := n.Owner
+	changed := false
+	owned, escaped := g.ownedLocals(n)
+
+	// Owned returns: a tracked acquired local (never escaped into a
+	// heap location) mentioned in a return transfers ownership out.
+	for _, ret := range returnStmts(n.Body) {
+		exprs := ret.Results
+		if len(exprs) == 1 && len(o.Returns) > 1 {
+			// return f() forwarding a multi-result call whole.
+			if call, isCall := unparen(exprs[0]).(*ast.CallExpr); isCall {
+				for ri := range o.Returns {
+					if !o.Returns[ri] && g.calleeOwnsReturn(call, ri) {
+						o.Returns[ri] = true
+						changed = true
+					}
+				}
+			}
+			continue
+		}
+		for ri, e := range exprs {
+			if ri >= len(o.Returns) || o.Returns[ri] {
+				continue
+			}
+			if !OwnerTrackable(n.sig.Results().At(ri).Type()) {
+				continue
+			}
+			if g.ownedResult(n, e, owned, escaped) {
+				o.Returns[ri] = true
+				changed = true
+			}
+		}
+	}
+
+	// Consumed parameters: a parameter (or the receiver) passed whole
+	// to a consuming callee is consumed here too.
+	recvVar := ownerRecvVar(n)
+	consume := func(v types.Object) {
+		if v == nil {
+			return
+		}
+		if recvVar != nil && v == recvVar {
+			if o.Recv != OwnerConsumes && !o.pinnedBorrow[recvVar.Name()] {
+				o.Recv = OwnerConsumes
+				changed = true
+			}
+			return
+		}
+		for i, p := range n.params {
+			if types.Object(p) == v && o.Params[i] != OwnerConsumes && !o.pinnedBorrow[p.Name()] {
+				o.Params[i] = OwnerConsumes
+				changed = true
+			}
+		}
+	}
+	for _, e := range n.Edges {
+		if e.ArgIndex != -1 {
+			continue
+		}
+		co := e.Callee.Owner
+		if co == nil {
+			continue
+		}
+		if co.Recv == OwnerConsumes {
+			if id := receiverIdent(e.Site); id != nil {
+				consume(n.Pkg.Info.ObjectOf(id))
+			}
+		}
+		for j, arg := range e.Site.Args {
+			if !co.ConsumesArg(j) {
+				continue
+			}
+			if id, isIdent := unparen(arg).(*ast.Ident); isIdent {
+				consume(n.Pkg.Info.ObjectOf(id))
+			}
+		}
+	}
+	return changed
+}
+
+// ownerRecvVar returns n's receiver variable, or nil.
+func ownerRecvVar(n *Node) *types.Var {
+	if n.sig == nil {
+		return nil
+	}
+	return n.sig.Recv()
+}
+
+// receiverIdent returns the receiver expression's base identifier when
+// the site is a direct method call on a plain identifier, else nil.
+func receiverIdent(site *ast.CallExpr) *ast.Ident {
+	sel, isSel := unparen(site.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil
+	}
+	id, _ := unparen(sel.X).(*ast.Ident)
+	return id
+}
+
+// returnStmts collects the body's own return statements (not those of
+// nested literals, which are separate nodes).
+func returnStmts(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeOwnsReturn reports whether any resolved callee at the site owns
+// result position ri.
+func (g *Graph) calleeOwnsReturn(call *ast.CallExpr, ri int) bool {
+	for _, e := range g.CallEdges[call] {
+		if e.ArgIndex == -1 && e.Callee.Owner.OwnedReturn(ri) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownedResult reports whether a single return expression carries an
+// owned value: an owned un-escaped local, a zero-low reslice of one, a
+// call whose first result is owned, or a composite literal (possibly
+// behind &) with an owned element — the `&runWriter{buf: getScratch(n)}`
+// constructor shape.
+func (g *Graph) ownedResult(n *Node, e ast.Expr, owned, escaped map[*types.Var]bool) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := n.Pkg.Info.ObjectOf(x).(*types.Var)
+		return v != nil && owned[v] && !escaped[v]
+	case *ast.SliceExpr:
+		if x.Low == nil || isZeroLit(x.Low) {
+			return g.ownedResult(n, x.X, owned, escaped)
+		}
+	case *ast.CallExpr:
+		return g.calleeOwnsReturn(x, 0)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return g.ownedResult(n, x.X, owned, escaped)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				el = kv.Value
+			}
+			if g.ownedResult(n, el, owned, escaped) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isZeroLit reports the literal 0.
+func isZeroLit(e ast.Expr) bool {
+	lit, isLit := unparen(e).(*ast.BasicLit)
+	return isLit && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// ownedLocals computes, for the current callee summaries, (a) the body
+// locals that hold an owned pooled value on some path and (b) the
+// locals whose value escapes into a heap location (field/index/map
+// store, append element, composite element, channel send, address-of,
+// or capture by a function literal). The escape set gates owned-return
+// inference: FrameEncoder.encode both appends its buffer to fe.out and
+// returns it, and the caller must NOT inherit ownership there.
+func (g *Graph) ownedLocals(n *Node) (owned, escaped map[*types.Var]bool) {
+	owned = make(map[*types.Var]bool)
+	escaped = make(map[*types.Var]bool)
+	info := n.Pkg.Info
+	varOf := func(e ast.Expr) *types.Var {
+		id, isIdent := unparen(e).(*ast.Ident)
+		if !isIdent {
+			return nil
+		}
+		v, _ := info.ObjectOf(id).(*types.Var)
+		if v == nil || v.Pos() < n.Body.Pos() || v.Pos() > n.Body.End() {
+			return nil // locals only: params and globals are not ours to own
+		}
+		return v
+	}
+	markEscape := func(e ast.Expr) {
+		if v := varOf(e); v != nil {
+			escaped[v] = true
+		}
+	}
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(mm ast.Node) bool {
+				if id, isIdent := mm.(*ast.Ident); isIdent {
+					markEscape(id)
+				}
+				return true
+			})
+			return false
+		case *ast.ReturnStmt:
+			return false // mention in a return is a transfer, not an escape
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				// Store into a field/index/map: the value escapes.
+				if len(x.Lhs) == len(x.Rhs) {
+					markEscape(x.Rhs[i])
+				}
+			}
+		case *ast.SendStmt:
+			markEscape(x.Value)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				markEscape(x.X)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+					el = kv.Value
+				}
+				markEscape(el)
+			}
+		case *ast.CallExpr:
+			if id, isIdent := unparen(x.Fun).(*ast.Ident); isIdent {
+				if b, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && b.Name() == "append" {
+					for _, arg := range x.Args[1:] {
+						markEscape(arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Owned locals: seeded by owned-returning calls, closed over direct
+	// aliases (plain assignment, zero-low reslice, self-append).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(n.Body, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if g.ownedBind(n, x.Lhs, x.Rhs, varOf, owned) {
+					changed = true
+				}
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(x.Names))
+				for i, name := range x.Names {
+					lhs[i] = name
+				}
+				if g.ownedBind(n, lhs, x.Values, varOf, owned) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return owned, escaped
+}
+
+// ownedBind applies one binding's ownership effects; reports growth.
+func (g *Graph) ownedBind(n *Node, lhs, rhs []ast.Expr, varOf func(ast.Expr) *types.Var, owned map[*types.Var]bool) bool {
+	changed := false
+	mark := func(e ast.Expr) {
+		if v := varOf(e); v != nil && !owned[v] {
+			owned[v] = true
+			changed = true
+		}
+	}
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// v, err := acquire(...)
+		if call, isCall := unparen(rhs[0]).(*ast.CallExpr); isCall {
+			for i := range lhs {
+				if g.calleeOwnsReturn(call, i) {
+					mark(lhs[i])
+				}
+			}
+		}
+		return changed
+	}
+	for i, e := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		switch x := unparen(e).(type) {
+		case *ast.CallExpr:
+			if g.calleeOwnsReturn(x, 0) {
+				mark(lhs[i])
+			}
+			// append(v, ...) with owned v keeps the alias on the result.
+			if id, isIdent := unparen(x.Fun).(*ast.Ident); isIdent && id.Name == "append" && len(x.Args) > 0 {
+				if v := varOf(x.Args[0]); v != nil && owned[v] {
+					mark(lhs[i])
+				}
+			}
+		case *ast.Ident:
+			if v := varOf(x); v != nil && owned[v] {
+				mark(lhs[i])
+			}
+		case *ast.SliceExpr:
+			if x.Low == nil || isZeroLit(x.Low) {
+				if v := varOf(x.X); v != nil && owned[v] {
+					mark(lhs[i])
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// validateOwnerContract cross-checks a contract's consume clauses
+// against evidence after the fixpoint: a consumes/transfers clause on a
+// parameter or receiver whose value never reaches a consuming callee
+// (whole, or as the base of a field argument like putScratch(w.buf))
+// and never escapes into a store is a stale contract — the function no
+// longer does what the directive claims, and ownercheck reports it.
+func (g *Graph) validateOwnerContract(n *Node) {
+	o := n.Owner
+	if o == nil || !o.HasContract || n.External() {
+		return
+	}
+	for _, c := range o.Clauses {
+		if c.Verb != "consumes" && c.Verb != "transfers" {
+			continue
+		}
+		if c.Arg == "return" {
+			continue
+		}
+		if _, isParam := n.ownerParamByName(c.Arg); !isParam {
+			continue // local-licensing clause; checked at escape sites
+		}
+		if !g.consumeEvidence(n, c.Arg) {
+			o.Issues = append(o.Issues, OwnerIssue{
+				Pos: o.AnchorPos,
+				Msg: fmt.Sprintf("owner contract claims %s(%s) but %s never consumes, stores, or forwards %s — stale contract", c.Verb, c.Arg, n.Name, c.Arg),
+			})
+		}
+	}
+}
+
+// consumeEvidence reports whether the named parameter/receiver (or any
+// expression based on it) reaches a consuming callee or a heap store.
+func (g *Graph) consumeEvidence(n *Node, name string) bool {
+	for _, e := range n.Edges {
+		if e.ArgIndex != -1 {
+			continue
+		}
+		co := e.Callee.Owner
+		if co == nil {
+			continue
+		}
+		if co.Recv == OwnerConsumes {
+			if id := receiverIdent(e.Site); id != nil && id.Name == name {
+				return true
+			}
+		}
+		for j, arg := range e.Site.Args {
+			if co.ConsumesArg(j) && baseIdentName(arg) == name {
+				return true
+			}
+		}
+	}
+	// Heap stores count as transfer evidence: x.f = p, append(dst, p).
+	found := false
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				if len(x.Lhs) == len(x.Rhs) && baseIdentName(x.Rhs[i]) == name {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if baseIdentName(x.Value) == name {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, isIdent := unparen(x.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+				for _, arg := range x.Args[1:] {
+					if baseIdentName(arg) == name {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// baseIdentName returns the base identifier of a selector/index/slice
+// chain ("w" for w.buf, b for b[:n]), or "".
+func baseIdentName(e ast.Expr) string {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -124,6 +124,7 @@ func (g *Graph) Summarize() {
 		}
 	}
 	g.composeOrder()
+	g.ownerSummarize()
 }
 
 // update recomputes n's summary from its local facts and current callee

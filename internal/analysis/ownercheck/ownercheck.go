@@ -1,0 +1,1051 @@
+// Package ownercheck implements the greenvet analyzer that tracks
+// manually pooled resources — transport.BufPool buffers, extsort
+// scratch, sync.Pool values — through their acquire→release lifetime
+// and reports the ways the pool discipline can rot silently:
+//
+//   - use-after-release: a buffer is read or written after a Put on
+//     some path reaching the use (silent corruption: the pool may have
+//     re-issued the block).
+//   - double release: one buffer returned to the pool twice (two
+//     callers now share "exclusive" storage).
+//   - release of a never-acquired buffer (make'd storage entering the
+//     freelist) or of a re-sliced view (the pool drops the misaligned
+//     capacity and the real buffer leaks).
+//   - leak: an acquired buffer misses its release on some path to
+//     return — error paths included, the classic early-return leak.
+//   - unannotated escape: a pooled buffer stored into a field, slice,
+//     map, channel, or goroutine without an ownership-transfer
+//     contract, the exact aliasing hazard of the broker's shared
+//     fan-out envelopes (DESIGN.md §12).
+//
+// The interprocedural half lives in callgraph's OwnerSummary (owner.go
+// there): a registry pins the acquire/release primitives, in-source
+// `//greenvet:owner` contracts pin functions whose role can't be
+// inferred, and an SCC fixpoint infers consumed parameters and owned
+// returns for everything else. This analyzer is the intraprocedural
+// half: a forward dataflow pass per function over the PR 5 CFG, with a
+// local must-alias set per variable and a per-resource state lattice
+// acquired → released/transferred. Path sensitivity comes from the
+// solver's EdgeTransfer hook: a resource bound together with an error
+// result (`data, err := c.readFrame()`) is guarded by that error — on
+// the `err != nil` branch the callee kept (or already released) the
+// buffer, so the obligation dies there and only the success path must
+// release.
+//
+// Soundness posture (DESIGN.md §15): one-sided, like the rest of the
+// suite. Only local identifiers are tracked — a pooled value stored
+// directly into a field at its acquire site, passed through an
+// unmodeled helper, or whose address is taken leaves the analysis
+// without a diagnostic. Mentioning a tracked value in a return
+// statement transfers ownership to the caller. Missing facts can hide
+// a finding, never invent one.
+//
+// Suppress a definite finding with `//greenvet:owner-ok <why>` on the
+// finding's line or the line above; declare a transfer with
+// `//greenvet:owner transfers(x) <why>` on the function. Both are
+// audited: stale owner-ok directives fail `greenvet -audit`, and a
+// contract clause whose evidence disappeared is reported by this
+// analyzer directly.
+package ownercheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/greenps/greenps/internal/analysis/callgraph"
+	"github.com/greenps/greenps/internal/analysis/cfg"
+	"github.com/greenps/greenps/internal/analysis/framework"
+)
+
+// Analyzer is the ownercheck analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "ownercheck",
+	Doc:  "tracks pooled buffers through acquire/release lifetimes: use-after-release, double release, foreign or re-sliced release, leaks on early-return paths, and unannotated escapes",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	g := callgraph.Of(pass)
+	path := pass.Pkg.Path()
+	for _, n := range g.Nodes {
+		if n.External() || n.Pkg.Path != path {
+			continue
+		}
+		o := n.Owner
+		if o != nil && o.HasContract {
+			// Mark the contract directive live for -audit and surface
+			// parse/validation defects. Contract issues are not
+			// suppressible: a malformed or stale contract must be fixed
+			// at the directive, not silenced beside it.
+			pass.Directive(o.AnchorPos, "owner")
+			for _, iss := range o.Issues {
+				pass.Reportf(iss.Pos, "%s", iss.Msg)
+			}
+		}
+		check(pass, g, n)
+	}
+	return nil
+}
+
+// Resource states. Acq and Rel can coexist after a join (released on
+// one path only); Done marks ownership transferred out (returned,
+// stored under contract, or reclaimed by an error guard).
+const (
+	stAcq uint8 = 1 << iota
+	stRel
+	stDone
+)
+
+// Resource kinds.
+const (
+	kindPooled = iota
+	// kindForeign: storage from make(), tracked only so releasing it
+	// into a pool can be flagged.
+	kindForeign
+	// kindDerived: a re-sliced (non-zero low bound) view of a tracked
+	// buffer; releasing it hands the pool a misaligned capacity.
+	kindDerived
+)
+
+// resource is one tracked acquisition site. Sites inside loops reuse
+// one resource identity across iterations (the map key is the binding
+// statement), which is what lets the fixpoint converge.
+type resource struct {
+	id      int
+	kind    int
+	pos     token.Pos  // binding position, anchor for leak reports
+	name    string     // primary variable name, for messages/licensing
+	what    string     // acquiring callee, for leak messages
+	errVar  *types.Var // error result bound alongside, for edge pruning
+	primary *types.Var
+}
+
+// bindKey identifies one binding site: the statement and lhs position.
+type bindKey struct {
+	stmt ast.Node
+	idx  int
+}
+
+// fact is the dataflow lattice element: a may-alias binding per local
+// variable plus each resource's state bits.
+type fact struct {
+	bind map[*types.Var][]*resource // sorted by id, deduped
+	st   map[*resource]uint8
+}
+
+func (f fact) clone() fact {
+	out := fact{
+		bind: make(map[*types.Var][]*resource, len(f.bind)),
+		st:   make(map[*resource]uint8, len(f.st)),
+	}
+	for v, rs := range f.bind {
+		out.bind[v] = append([]*resource(nil), rs...)
+	}
+	for r, s := range f.st {
+		out.st[r] = s
+	}
+	return out
+}
+
+// mergeSets unions two id-sorted resource sets.
+func mergeSets(a, b []*resource) []*resource {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]*resource(nil), b...)
+	}
+	var out []*resource
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].id == b[j].id:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i].id < b[j].id:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func joinFact(a, b fact) fact {
+	out := a.clone()
+	for v, rs := range b.bind {
+		out.bind[v] = mergeSets(out.bind[v], rs)
+	}
+	for r, s := range b.st {
+		out.st[r] |= s
+	}
+	return out
+}
+
+func factEqual(a, b fact) bool {
+	if len(a.bind) != len(b.bind) || len(a.st) != len(b.st) {
+		return false
+	}
+	for v, rs := range a.bind {
+		os, ok := b.bind[v]
+		if !ok || len(os) != len(rs) {
+			return false
+		}
+		for i := range rs {
+			if rs[i] != os[i] {
+				return false
+			}
+		}
+	}
+	for r, s := range a.st {
+		if b.st[r] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// checker carries one function's analysis state.
+type checker struct {
+	pass *framework.Pass
+	g    *callgraph.Graph
+	n    *callgraph.Node
+	info *types.Info
+
+	skip      map[*types.Var]bool // address-taken or captured: untracked
+	deferRel  map[*types.Var]bool // released by a deferred call at exit
+	resources map[bindKey]*resource
+	resList   []*resource
+	reported  map[string]map[int]bool // category -> resource id
+}
+
+func check(pass *framework.Pass, g *callgraph.Graph, n *callgraph.Node) {
+	c := &checker{
+		pass:      pass,
+		g:         g,
+		n:         n,
+		info:      n.Pkg.Info,
+		skip:      make(map[*types.Var]bool),
+		deferRel:  make(map[*types.Var]bool),
+		resources: make(map[bindKey]*resource),
+		reported:  make(map[string]map[int]bool),
+	}
+	c.preScan()
+	pooled := false
+	for _, r := range c.resList {
+		if r.kind == kindPooled {
+			pooled = true
+		}
+	}
+	if !pooled && !c.hasConsumingEdge() {
+		return // nothing pooled moves through this function
+	}
+	graph := cfg.New(n.Body)
+	boundary := fact{bind: map[*types.Var][]*resource{}, st: map[*resource]uint8{}}
+	in := cfg.Forward(graph, cfg.Analysis[fact]{
+		Boundary: boundary,
+		Join:     joinFact,
+		Transfer: func(b *cfg.Block, f fact) fact {
+			out := f.clone()
+			for _, node := range b.Nodes {
+				c.applyNode(node, out, false)
+			}
+			return out
+		},
+		EdgeTransfer: c.edgeTransfer,
+		Equal:        factEqual,
+	})
+	// Reporting sweep: re-run the transfer over each reachable block's
+	// settled in-fact, this time emitting diagnostics (the errflow
+	// discipline — reports happen once, against fixpoint facts).
+	for _, b := range graph.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := f.clone()
+		for _, node := range b.Nodes {
+			c.applyNode(node, cur, true)
+		}
+	}
+	// Leak check: a pooled resource still owed at the exit join leaked
+	// on some path (deferred releases cover every path by construction).
+	exit, ok := in[graph.Exit]
+	if !ok {
+		return // no path reaches the exit (infinite loop / always panics)
+	}
+	for _, r := range c.resList {
+		if r.kind != kindPooled || c.deferRel[r.primary] {
+			continue
+		}
+		if exit.st[r]&stAcq != 0 {
+			c.report(r, "leak", r.pos,
+				"pooled buffer %s acquired from %s is not released on every path to return; release it on the missing path (error returns included), defer the release, or suppress with //greenvet:owner-ok <why>",
+				r.name, r.what)
+		}
+	}
+}
+
+// hasConsumingEdge reports whether any call in the body can release or
+// retain a pooled value — the gate that keeps the dataflow pass off
+// functions that never touch a pool.
+func (c *checker) hasConsumingEdge() bool {
+	for _, e := range c.n.Edges {
+		if e.ArgIndex != -1 {
+			continue
+		}
+		o := e.Callee.Owner
+		if o == nil {
+			continue
+		}
+		if o.Recv == callgraph.OwnerConsumes {
+			return true
+		}
+		for i := 0; i < len(e.Site.Args); i++ {
+			if o.ConsumesArg(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// preScan computes the skip set (address-taken and captured variables),
+// the deferred-release set, and pre-creates a resource per binding site
+// so loop iterations share one identity.
+func (c *checker) preScan() {
+	body := c.n.Body
+	goLits := make(map[*ast.FuncLit]bool)
+	deferLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt:
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				deferLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if v := c.localVar(x.X); v != nil {
+					c.skip[v] = true
+				}
+			}
+		case *ast.FuncLit:
+			if goLits[x] {
+				// Spawned literals stay tracked: the capture itself is
+				// the goroutine-escape finding, reported at the go site.
+				return false
+			}
+			if deferLits[x] {
+				c.deferredLit(x)
+				return false
+			}
+			// Any other capture is opaque: the literal may run at any
+			// time (callback registration), so stop tracking.
+			c.skipCaptured(x)
+			return false
+		}
+		return true
+	})
+	// Deferred direct calls: defer putScratch(b), defer pool.Put(b),
+	// defer w.flush().
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := m.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		c.deferConsumes(d.Call)
+		return true
+	})
+	// Binding sites.
+	id := 0
+	newResource := func(kind int, key bindKey, pos token.Pos, name, what string, errVar, primary *types.Var) {
+		r := &resource{id: id, kind: kind, pos: pos, name: name, what: what, errVar: errVar, primary: primary}
+		id++
+		c.resources[key] = r
+		c.resList = append(c.resList, r)
+	}
+	consuming := c.hasConsumingEdge()
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		lhs, rhs, stmt := bindingParts(m)
+		if stmt == nil {
+			return true
+		}
+		if len(lhs) > 1 && len(rhs) == 1 {
+			call, ok := unparen(rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			errVar := c.errResult(lhs)
+			for i, l := range lhs {
+				v := c.localVar(l)
+				if v == nil || c.skip[v] || !callgraph.OwnerTrackable(v.Type()) {
+					continue
+				}
+				if c.calleeOwnsReturn(call, i) {
+					newResource(kindPooled, bindKey{stmt, i}, l.Pos(), v.Name(), c.calleeName(call), errVar, v)
+				}
+			}
+			return true
+		}
+		for i, r := range rhs {
+			if i >= len(lhs) {
+				break
+			}
+			v := c.localVar(lhs[i])
+			if v == nil || c.skip[v] {
+				continue
+			}
+			switch x := unparen(r).(type) {
+			case *ast.CallExpr:
+				if c.calleeOwnsReturn(x, 0) && callgraph.OwnerTrackable(v.Type()) {
+					newResource(kindPooled, bindKey{stmt, i}, lhs[i].Pos(), v.Name(), c.calleeName(x), nil, v)
+				} else if consuming && isMakeBytes(c.info, x) {
+					newResource(kindForeign, bindKey{stmt, i}, lhs[i].Pos(), v.Name(), "make", nil, v)
+				}
+			case *ast.SliceExpr:
+				if consuming && x.Low != nil && !isZeroLit(x.Low) {
+					newResource(kindDerived, bindKey{stmt, i}, lhs[i].Pos(), v.Name(), "reslice", nil, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// skipCaptured stops tracking every local a non-deferred, non-spawned
+// closure captures: the literal may run at any time, so nothing useful
+// can be said about the lifetime afterward.
+func (c *checker) skipCaptured(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil {
+				c.skip[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// deferredLit processes a deferred closure: releases of captured locals
+// count as deferred releases; every other captured local goes opaque.
+func (c *checker) deferredLit(lit *ast.FuncLit) {
+	released := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for v := range c.consumedVars(call) {
+			released[v] = true
+		}
+		return true
+	})
+	for v := range released {
+		c.deferRel[v] = true
+	}
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil && !released[v] {
+				c.skip[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// deferConsumes records deferred releases from a direct deferred call.
+func (c *checker) deferConsumes(call *ast.CallExpr) {
+	for v := range c.consumedVars(call) {
+		c.deferRel[v] = true
+	}
+}
+
+// consumedVars returns the local variables a call consumes whole: plain
+// identifier arguments at consuming positions, and the receiver of a
+// receiver-consuming method.
+func (c *checker) consumedVars(call *ast.CallExpr) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, e := range c.g.CallEdges[call] {
+		if e.ArgIndex != -1 {
+			continue
+		}
+		o := e.Callee.Owner
+		if o == nil {
+			continue
+		}
+		if o.Recv == callgraph.OwnerConsumes {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if v := c.localVar(sel.X); v != nil {
+					out[v] = true
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if !o.ConsumesArg(i) {
+				continue
+			}
+			if v := c.localVar(arg); v != nil {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// localVar resolves e to a variable declared inside the body, or nil.
+func (c *checker) localVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := c.info.ObjectOf(id).(*types.Var)
+	if v == nil || v.Pos() < c.n.Body.Pos() || v.Pos() > c.n.Body.End() {
+		return nil
+	}
+	return v
+}
+
+// errResult finds the error-typed local bound alongside a multi-result
+// acquire, the guard variable for edge pruning.
+func (c *checker) errResult(lhs []ast.Expr) *types.Var {
+	for _, l := range lhs {
+		v := c.localVar(l)
+		if v != nil && types.Identical(v.Type(), errorType) {
+			return v
+		}
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// calleeOwnsReturn reports whether any resolved callee owns result ri.
+func (c *checker) calleeOwnsReturn(call *ast.CallExpr, ri int) bool {
+	for _, e := range c.g.CallEdges[call] {
+		if e.ArgIndex == -1 && e.Callee.Owner.OwnedReturn(ri) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName names the acquiring callee for diagnostics.
+func (c *checker) calleeName(call *ast.CallExpr) string {
+	for _, e := range c.g.CallEdges[call] {
+		if e.ArgIndex == -1 {
+			return e.Callee.Name
+		}
+	}
+	return "callee"
+}
+
+// bindingParts destructures an assignment or var declaration.
+func bindingParts(m ast.Node) (lhs, rhs []ast.Expr, stmt ast.Node) {
+	switch x := m.(type) {
+	case *ast.AssignStmt:
+		return x.Lhs, x.Rhs, x
+	case *ast.ValueSpec:
+		lhs = make([]ast.Expr, len(x.Names))
+		for i, name := range x.Names {
+			lhs[i] = name
+		}
+		return lhs, x.Values, x
+	}
+	return nil, nil, nil
+}
+
+// --- transfer function ---
+
+// applyNode pushes the fact through one CFG node; when report is true
+// it also emits diagnostics (the reporting sweep).
+func (c *checker) applyNode(node ast.Node, f fact, report bool) {
+	switch x := node.(type) {
+	case *ast.DeferStmt:
+		return // deferred releases are modeled by deferRel at the exit
+	case *ast.GoStmt:
+		c.goStmt(x, f, report)
+		return
+	}
+	handled := make(map[*ast.Ident]bool)
+	// Calls first: releases, consumes, and the idents they claim.
+	cfg.InspectShallow(node, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			c.handleCall(call, f, report, handled)
+		}
+		return true
+	})
+	// Then every remaining identifier read is a use.
+	c.checkUses(node, f, report, handled)
+	// Then the node's own binding/escape/transfer effects.
+	switch x := node.(type) {
+	case *ast.AssignStmt:
+		c.applyBinding(x.Lhs, x.Rhs, x, f, report)
+	case *ast.ValueSpec:
+		lhs, rhs, _ := bindingParts(x)
+		c.applyBinding(lhs, rhs, x, f, report)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs, rhs, _ := bindingParts(vs)
+					c.applyBinding(lhs, rhs, vs, f, report)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.escapeExpr(x.Value, f, report, "channel send")
+	case *ast.ReturnStmt:
+		// Every tracked value mentioned in a return transfers to the
+		// caller (one-sided: the mention is taken as a handoff).
+		ast.Inspect(x, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				for _, r := range c.boundResources(id, f) {
+					f.st[r] = f.st[r]&^stAcq | stDone
+				}
+			}
+			return true
+		})
+	}
+}
+
+// boundResources returns the resources an identifier is bound to.
+func (c *checker) boundResources(id *ast.Ident, f fact) []*resource {
+	v, _ := c.info.ObjectOf(id).(*types.Var)
+	if v == nil {
+		return nil
+	}
+	return f.bind[v]
+}
+
+// handleCall applies one call's consume effects and flags releases of
+// already-released, foreign, or re-sliced resources.
+func (c *checker) handleCall(call *ast.CallExpr, f fact, report bool, handled map[*ast.Ident]bool) {
+	// append(dst, b...): pooled elements escape into dst's storage.
+	if isAppend(c.info, call) {
+		for _, arg := range call.Args[1:] {
+			c.escapeExpr(arg, f, report, "heap store")
+			if id, ok := unparen(arg).(*ast.Ident); ok {
+				handled[id] = true
+			}
+		}
+		return
+	}
+	var consumes []*ast.Ident
+	for _, e := range c.g.CallEdges[call] {
+		if e.ArgIndex != -1 {
+			continue
+		}
+		o := e.Callee.Owner
+		if o == nil {
+			continue
+		}
+		if o.Recv == callgraph.OwnerConsumes {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := unparen(sel.X).(*ast.Ident); ok {
+					consumes = append(consumes, id)
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if !o.ConsumesArg(i) {
+				continue
+			}
+			if id, ok := unparen(arg).(*ast.Ident); ok {
+				consumes = append(consumes, id)
+			}
+		}
+	}
+	for _, id := range consumes {
+		if handled[id] {
+			continue
+		}
+		handled[id] = true
+		for _, r := range c.boundResources(id, f) {
+			if report {
+				switch {
+				case f.st[r]&stRel != 0:
+					c.reportSuppressible(r, "double", id.Pos(),
+						"%s is released to the pool twice: a release on some path already returned this buffer, and the pool may have re-issued it", id.Name)
+				case c.deferRel[r.primary]:
+					c.reportSuppressible(r, "double", id.Pos(),
+						"%s is released here and again by a deferred release at function exit — the pool receives it twice", id.Name)
+				case r.kind == kindForeign:
+					c.reportSuppressible(r, "foreign", id.Pos(),
+						"%s is released to a pool but was never acquired from one (it comes from make); only Get-origin buffers may be returned", id.Name)
+				case r.kind == kindDerived:
+					c.reportSuppressible(r, "reslice", id.Pos(),
+						"%s is a re-sliced view of a pooled buffer: the pool drops its misaligned capacity and the original buffer is lost", id.Name)
+				}
+			}
+			f.st[r] = f.st[r]&^stAcq | stRel
+		}
+	}
+}
+
+// checkUses flags reads of tracked identifiers whose every bound
+// resource has been released. Nil comparisons are exempt (checking a
+// released slice against nil is harmless and idiomatic).
+func (c *checker) checkUses(node ast.Node, f fact, report bool, handled map[*ast.Ident]bool) {
+	defs := make(map[*ast.Ident]bool)
+	cfg.InspectShallow(node, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				if id, ok := unparen(l).(*ast.Ident); ok {
+					defs[id] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range x.Names {
+				defs[name] = true
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				defs[id] = true
+			}
+			if id, ok := x.Value.(*ast.Ident); ok {
+				defs[id] = true
+			}
+		case *ast.BinaryExpr:
+			if (x.Op == token.EQL || x.Op == token.NEQ) && (isNilExpr(c.info, x.X) || isNilExpr(c.info, x.Y)) {
+				return false
+			}
+		}
+		return true
+	})
+	cfg.InspectShallow(node, func(m ast.Node) bool {
+		if x, ok := m.(*ast.BinaryExpr); ok {
+			if (x.Op == token.EQL || x.Op == token.NEQ) && (isNilExpr(c.info, x.X) || isNilExpr(c.info, x.Y)) {
+				return false
+			}
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || handled[id] || defs[id] {
+			return true
+		}
+		rs := c.boundResources(id, f)
+		if len(rs) == 0 {
+			return true
+		}
+		released := true
+		for _, r := range rs {
+			if f.st[r]&stRel == 0 {
+				released = false
+			}
+		}
+		if released && report {
+			r := rs[0]
+			c.reportSuppressible(r, "use", id.Pos(),
+				"pooled buffer %s is used after being released: a release on some path reaching this use already returned it to the pool, which may have re-issued the block", id.Name)
+		}
+		return true
+	})
+}
+
+// applyBinding applies assignment effects: new acquisitions, aliasing,
+// kills, and stores into heap locations.
+func (c *checker) applyBinding(lhs, rhs []ast.Expr, stmt ast.Node, f fact, report bool) {
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// v, err := f(): bind pre-created resources, kill the rest.
+		for i, l := range lhs {
+			v := c.localVar(l)
+			if v == nil || c.skip[v] {
+				continue
+			}
+			if r := c.resources[bindKey{stmt, i}]; r != nil {
+				f.bind[v] = []*resource{r}
+				f.st[r] = stAcq
+			} else {
+				delete(f.bind, v)
+			}
+		}
+		return
+	}
+	for i, e := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		// A store into a field/index/map escapes the value.
+		if _, isIdent := unparen(lhs[i]).(*ast.Ident); !isIdent {
+			c.escapeExpr(e, f, report, "heap store")
+			continue
+		}
+		v := c.localVar(lhs[i])
+		if v == nil || c.skip[v] {
+			continue
+		}
+		if r := c.resources[bindKey{stmt, i}]; r != nil {
+			f.bind[v] = []*resource{r}
+			f.st[r] = stAcq
+			continue
+		}
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			if rs := c.aliasSet(x, f); rs != nil {
+				f.bind[v] = rs
+			} else {
+				delete(f.bind, v)
+			}
+		case *ast.SliceExpr:
+			if x.Low == nil || isZeroLit(x.Low) {
+				if id, ok := unparen(x.X).(*ast.Ident); ok {
+					if rs := c.aliasSet(id, f); rs != nil {
+						f.bind[v] = rs
+						continue
+					}
+				}
+			}
+			delete(f.bind, v)
+		case *ast.CallExpr:
+			// b = append(b, ...) keeps b's binding; anything else kills.
+			if isAppend(c.info, x) && len(x.Args) > 0 {
+				if id, ok := unparen(x.Args[0]).(*ast.Ident); ok {
+					if rs := c.aliasSet(id, f); rs != nil {
+						f.bind[v] = rs
+						continue
+					}
+				}
+			}
+			delete(f.bind, v)
+		default:
+			delete(f.bind, v)
+		}
+	}
+}
+
+// aliasSet returns the resource set an identifier aliases, or nil.
+func (c *checker) aliasSet(id *ast.Ident, f fact) []*resource {
+	v, _ := c.info.ObjectOf(id).(*types.Var)
+	if v == nil {
+		return nil
+	}
+	rs := f.bind[v]
+	if len(rs) == 0 {
+		return nil
+	}
+	return append([]*resource(nil), rs...)
+}
+
+// escapeExpr handles a tracked value flowing into storage that outlives
+// the frame: licensed by a transfers/consumes contract clause it is a
+// silent handoff, otherwise it is a finding. Either way the obligation
+// moves out of this function.
+func (c *checker) escapeExpr(e ast.Expr, f fact, report bool, how string) {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	for _, r := range c.boundResources(id, f) {
+		if f.st[r]&stAcq != 0 && r.kind == kindPooled {
+			if report && !c.n.Owner.Licenses(r.name) {
+				c.reportSuppressible(r, "escape", id.Pos(),
+					"pooled buffer %s escapes into a %s without an ownership-transfer contract; annotate the function with //greenvet:owner transfers(%s) <why> or release the buffer before the escape", id.Name, how, id.Name)
+			}
+		}
+		f.st[r] = f.st[r]&^stAcq | stDone
+	}
+}
+
+// goStmt handles `go f(b)` and `go func(){...}()`: a pooled buffer
+// crossing into another goroutine needs a transfer contract.
+func (c *checker) goStmt(x *ast.GoStmt, f fact, report bool) {
+	handled := make(map[*ast.Ident]bool)
+	c.handleCall(x.Call, f, report, handled) // go pool.Put(b) still releases
+	for _, e := range c.g.CallEdges[x.Call] {
+		if e.Callee.Lit == nil || e.ArgIndex != -1 {
+			continue
+		}
+		// Captured tracked values escape into the spawned goroutine.
+		ast.Inspect(e.Callee.Lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && !handled[id] {
+				handled[id] = true
+				c.escapeGo(id, f, report)
+			}
+			return true
+		})
+	}
+	for _, arg := range x.Call.Args {
+		if id, ok := unparen(arg).(*ast.Ident); ok && !handled[id] {
+			c.escapeGo(id, f, report)
+		}
+	}
+}
+
+func (c *checker) escapeGo(id *ast.Ident, f fact, report bool) {
+	for _, r := range c.boundResources(id, f) {
+		if f.st[r]&stAcq != 0 && r.kind == kindPooled {
+			if report && !c.n.Owner.Licenses(r.name) {
+				c.reportSuppressible(r, "escape", id.Pos(),
+					"pooled buffer %s escapes into a goroutine without an ownership-transfer contract; annotate the function with //greenvet:owner transfers(%s) <why> or hand the goroutine a copy", id.Name, id.Name)
+			}
+		}
+		f.st[r] = f.st[r]&^stAcq | stDone
+	}
+}
+
+// edgeTransfer is the path-sensitivity hook: on the error branch of a
+// comparison against nil of an error bound together with an acquire,
+// the callee kept or already released the buffer, so the obligation
+// dies on that edge.
+func (c *checker) edgeTransfer(from, to *cfg.Block, f fact) fact {
+	if from.Cond == nil {
+		return f
+	}
+	v, eq := nilCompare(c.info, from.Cond)
+	if v == nil {
+		return f
+	}
+	out := f
+	cloned := false
+	kill := func(r *resource, s uint8) {
+		if !cloned {
+			out = f.clone()
+			cloned = true
+		}
+		out.st[r] = s&^stAcq | stDone
+	}
+	// Error guard: on the branch where the acquire's error is non-nil,
+	// the callee kept (or already released) the buffer.
+	if errEdge := (eq && to == from.FalseSucc) || (!eq && to == from.TrueSucc); errEdge {
+		for r, s := range f.st {
+			if r.errVar == v && s&stAcq != 0 {
+				kill(r, s)
+			}
+		}
+	}
+	// Nil guard: on the branch where a tracked value itself is nil,
+	// nothing was acquired on that path (`if src != nil { keep(src) }`
+	// leaves no obligation on the else edge).
+	if nilEdge := (eq && to == from.TrueSucc) || (!eq && to == from.FalseSucc); nilEdge {
+		for _, r := range f.bind[v] {
+			if s := out.st[r]; s&stAcq != 0 {
+				kill(r, s)
+			}
+		}
+	}
+	return out
+}
+
+// nilCompare matches `x == nil` / `x != nil` with x a plain variable;
+// eq reports the == form.
+func nilCompare(info *types.Info, cond ast.Expr) (v *types.Var, eq bool) {
+	b, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := b.X, b.Y
+	if isNilExpr(info, x) {
+		x, y = y, x
+	}
+	if !isNilExpr(info, y) {
+		return nil, false
+	}
+	id, ok := unparen(x).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, _ = info.ObjectOf(id).(*types.Var)
+	return v, b.Op == token.EQL
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isMakeBytes(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	eb, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && eb.Kind() == types.Uint8
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// report emits one non-suppressible diagnostic per (resource, category).
+func (c *checker) report(r *resource, cat string, pos token.Pos, format string, args ...any) {
+	if c.seen(r, cat) {
+		return
+	}
+	if c.pass.Suppressed(pos, "owner-ok") {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// reportSuppressible is report; the name documents that every lifetime
+// finding honors //greenvet:owner-ok.
+func (c *checker) reportSuppressible(r *resource, cat string, pos token.Pos, format string, args ...any) {
+	c.report(r, cat, pos, format, args...)
+}
+
+// seen dedupes per (category, resource): a loop visits one site many
+// times in the fixpoint but the defect is one defect.
+func (c *checker) seen(r *resource, cat string) bool {
+	m := c.reported[cat]
+	if m == nil {
+		m = make(map[int]bool)
+		c.reported[cat] = m
+	}
+	if m[r.id] {
+		return true
+	}
+	m[r.id] = true
+	return false
+}

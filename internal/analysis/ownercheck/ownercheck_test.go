@@ -1,0 +1,40 @@
+package ownercheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/greenps/greenps/internal/analysis/analysistest"
+	"github.com/greenps/greenps/internal/analysis/framework"
+	"github.com/greenps/greenps/internal/analysis/ownercheck"
+)
+
+func TestOwnercheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ownercheck", "fixture/ownercheck", ownercheck.Analyzer)
+}
+
+// TestOwnercheckAudit checks the stale-directive story: the fixture's one
+// owner-ok that guards nothing is the only directive -audit flags — live
+// suppressions and owner contracts are all marked consulted.
+func TestOwnercheckAudit(t *testing.T) {
+	pkg, err := framework.LoadFixture("testdata/src/ownercheck", "fixture/ownercheck")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := framework.Audit([]*framework.Package{pkg}, []*framework.Analyzer{ownercheck.Analyzer})
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	var stale []framework.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "audit" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("audit flagged %d stale directives, want exactly 1: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "owner-ok") {
+		t.Errorf("stale directive diagnostic does not name owner-ok: %s", stale[0].Message)
+	}
+}

@@ -1,0 +1,211 @@
+// Fixture for the ownercheck analyzer. The package defines its own
+// BufPool so the fixture stays self-contained: the ownership registry
+// recognizes a BufPool receiver under the fixture/ownercheck path the
+// same way it recognizes the real transport pool.
+package ownercheck
+
+type BufPool struct{}
+
+func (p *BufPool) Get(n int) []byte { return nil }
+func (p *BufPool) Put(b []byte)     {}
+
+var pool BufPool
+
+type myErr struct{}
+
+func (myErr) Error() string { return "fail" }
+
+var errFail error = myErr{}
+
+func use(b []byte) {}
+
+// --- use after release ---
+
+func useAfterRelease() byte {
+	b := pool.Get(16)
+	pool.Put(b)
+	return b[0] // want "used after being released"
+}
+
+func aliasUse() {
+	b := pool.Get(16)
+	c := b
+	pool.Put(c)
+	use(b) // want "used after being released"
+}
+
+// mayUse releases on only one path: the use and the missed release are
+// both real on their respective paths, so both are findings.
+func mayUse(fail bool) {
+	b := pool.Get(16) // want "not released on every path"
+	if fail {
+		pool.Put(b)
+	}
+	use(b) // want "used after being released"
+}
+
+// --- double release ---
+
+func doubleRelease() {
+	b := pool.Get(16)
+	pool.Put(b)
+	pool.Put(b) // want "released to the pool twice"
+}
+
+func deferDouble() {
+	b := pool.Get(16)
+	defer pool.Put(b)
+	pool.Put(b) // want "again by a deferred release"
+}
+
+// freeIt consumes its argument: inference sees the whole-identifier Put
+// and callers inherit the release without any annotation.
+func freeIt(b []byte) {
+	pool.Put(b)
+}
+
+func wrapperClean() {
+	b := pool.Get(16)
+	freeIt(b)
+}
+
+func wrapperDouble() {
+	b := pool.Get(16)
+	freeIt(b)
+	pool.Put(b) // want "released to the pool twice"
+}
+
+// --- foreign and re-sliced releases ---
+
+func foreignRelease() {
+	b := make([]byte, 16)
+	pool.Put(b) // want "never acquired"
+}
+
+func resliceRelease() {
+	b := pool.Get(32)
+	c := b[4:]
+	pool.Put(c) // want "re-sliced view"
+	pool.Put(b)
+}
+
+// --- leaks on early-return paths ---
+
+func leakOnError(fail bool) error {
+	b := pool.Get(16) // want "not released on every path"
+	if fail {
+		return errFail
+	}
+	pool.Put(b)
+	return nil
+}
+
+// fresh transfers ownership out by inference: the returned local was
+// acquired and never escaped.
+func fresh() []byte { return pool.Get(32) }
+
+func wrapperLeak(fail bool) {
+	b := fresh() // want "not released on every path"
+	if fail {
+		return
+	}
+	pool.Put(b)
+}
+
+// open pairs the acquired buffer with an error result.
+func open(fail bool) ([]byte, error) {
+	if fail {
+		return nil, errFail
+	}
+	return pool.Get(8), nil
+}
+
+// guardedClean is the canonical acquire shape: on the error branch the
+// callee never handed a buffer over, so only the success path releases.
+func guardedClean(fail bool) error {
+	b, err := open(fail)
+	if err != nil {
+		return err
+	}
+	pool.Put(b)
+	return nil
+}
+
+func deferClean() {
+	b := pool.Get(16)
+	defer pool.Put(b)
+	use(b)
+}
+
+func deferLitClean() {
+	b := pool.Get(16)
+	defer func() { pool.Put(b) }()
+	use(b)
+}
+
+//greenvet:owner transfers(return) the caller owns the buffer and must release it
+func freshDocumented() []byte {
+	b := pool.Get(32)
+	return b
+}
+
+// --- escapes ---
+
+type sink struct {
+	buf []byte
+	ch  chan []byte
+}
+
+func escapeStore(s *sink) {
+	b := pool.Get(16)
+	s.buf = b // want "escapes into a heap store"
+}
+
+//greenvet:owner transfers(b) the sink owns the buffer; its closer releases it
+func escapeLicensed(s *sink) {
+	b := pool.Get(16)
+	s.buf = b
+}
+
+func escapeSend(ch chan []byte) {
+	b := pool.Get(16)
+	ch <- b // want "escapes into a channel send"
+}
+
+func escapeGo() {
+	b := pool.Get(16)
+	go func() { use(b) }() // want "escapes into a goroutine"
+}
+
+// --- contract defects, reported at the declaration ---
+
+//greenvet:owner consumes(zz) refers to a parameter that does not exist
+func badContract(b []byte) { // want "names nothing"
+	pool.Put(b)
+}
+
+//greenvet:owner consumes(b)
+func noWhy(b []byte) { // want "requires a justification"
+	pool.Put(b)
+}
+
+//greenvet:owner consumes(b) claims to consume but the function only reads
+func staleContract(b []byte) int { // want "stale contract"
+	return len(b)
+}
+
+// --- suppression, live and stale ---
+
+func suppressedLeak() {
+	//greenvet:owner-ok the shutdown path drops the buffer deliberately
+	b := pool.Get(16)
+	use(b)
+}
+
+// staleSuppression's directive guards nothing: the analyzer never
+// consults it, so only `greenvet -audit` flags it.
+func staleSuppression() {
+	//greenvet:owner-ok nothing here needs suppressing
+	b := pool.Get(16)
+	pool.Put(b)
+}

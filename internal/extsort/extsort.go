@@ -147,6 +147,7 @@ func (s *Sorter) spill() error {
 	w := newRunWriter(f)
 	for _, r := range s.offs {
 		if err := w.write(s.arena[r.off : r.off+r.len]); err != nil {
+			w.discard()
 			cleanupRun(f)
 			return err
 		}
@@ -172,6 +173,8 @@ func cleanupRun(f *os.File) {
 // final in-memory batch is sorted in place and merged as the last source,
 // so a Sorter that never exceeded its budget touches no disk at all. The
 // iterator owns the Sorter's runs and buffers; Close it to release them.
+//
+//greenvet:owner transfers(src) each opened run source (and its pooled reader buffers) is handed to the Iterator, whose Close releases them
 func (s *Sorter) Sort() (*Iterator, error) {
 	if s.sorted {
 		return nil, fmt.Errorf("extsort: Sort called twice")

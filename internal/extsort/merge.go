@@ -48,11 +48,23 @@ func (w *runWriter) drain() error {
 
 // flush drains the remaining bytes and returns the pooled buffer. The
 // file stays open — the merge reads it back through a runReader.
+//
+//greenvet:owner consumes(w) flush hands w.buf back to the scratch pool on every path, success or drain error; the writer must not be reused
 func (w *runWriter) flush() error {
 	err := w.drain()
 	putScratch(w.buf)
 	w.buf = nil
 	return err
+}
+
+// discard abandons the run without draining, returning the pooled buffer
+// unwritten — the error-path counterpart of flush, for a spill that
+// failed partway and is about to delete its run file.
+//
+//greenvet:owner consumes(w) discard hands w.buf back to the scratch pool; the writer must not be reused
+func (w *runWriter) discard() {
+	putScratch(w.buf)
+	w.buf = nil
 }
 
 // runReader streams records back out of a run file through a pooled

@@ -30,6 +30,20 @@ const (
 type scratchPool struct {
 	mu      sync.Mutex
 	classes [scratchClasses][][]byte
+
+	// gets/puts count every getScratch/putScratch call (pooled or not),
+	// guarded by mu. Tests balance them to prove the reader/writer
+	// lifecycles return exactly what they borrow — the dynamic
+	// counterpart of the ownercheck analyzer's static leak check.
+	gets int64
+	puts int64
+}
+
+// scratchStats snapshots the counters.
+func scratchStats() (gets, puts int64) {
+	scratch.mu.Lock()
+	defer scratch.mu.Unlock()
+	return scratch.gets, scratch.puts
 }
 
 // scratchClassFor returns the smallest class index covering n bytes, or
@@ -50,9 +64,13 @@ func scratchClassFor(n int) int {
 func getScratch(n int) []byte {
 	c := scratchClassFor(n)
 	if c < 0 {
+		scratch.mu.Lock()
+		scratch.gets++
+		scratch.mu.Unlock()
 		return make([]byte, 0, n)
 	}
 	scratch.mu.Lock()
+	scratch.gets++
 	if fl := scratch.classes[c]; len(fl) > 0 {
 		b := fl[len(fl)-1]
 		fl[len(fl)-1] = nil
@@ -72,11 +90,9 @@ func putScratch(b []byte) {
 		return
 	}
 	c := scratchClassFor(cap(b))
-	if c < 0 || cap(b) != 1<<(scratchMinShift+c) {
-		return
-	}
 	scratch.mu.Lock()
-	if len(scratch.classes[c]) < scratchMaxPerClass {
+	scratch.puts++
+	if c >= 0 && cap(b) == 1<<(scratchMinShift+c) && len(scratch.classes[c]) < scratchMaxPerClass {
 		scratch.classes[c] = append(scratch.classes[c], b[:0])
 	}
 	scratch.mu.Unlock()

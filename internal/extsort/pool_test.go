@@ -1,0 +1,111 @@
+package extsort
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// TestScratchClassBoundaries pins the size-class arithmetic at the exact
+// boundaries: a request of one class size stays in that class, one byte
+// more moves up, and one byte beyond the largest class leaves the pool.
+func TestScratchClassBoundaries(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{0, 1 << scratchMinShift},
+		{1, 1 << scratchMinShift},
+		{1 << scratchMinShift, 1 << scratchMinShift},
+		{(1 << scratchMinShift) + 1, 1 << (scratchMinShift + 1)},
+		{ioBufSize, ioBufSize},
+		{1 << (scratchMinShift + scratchClasses - 1), 1 << (scratchMinShift + scratchClasses - 1)},
+		// One past the largest class: unpooled, capacity is the request.
+		{(1 << (scratchMinShift + scratchClasses - 1)) + 1, (1 << (scratchMinShift + scratchClasses - 1)) + 1},
+	}
+	for _, c := range cases {
+		b := getScratch(c.n)
+		if len(b) != 0 {
+			t.Fatalf("getScratch(%d): len %d, want 0", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("getScratch(%d): cap %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		putScratch(b)
+	}
+}
+
+// TestScratchCounters pins the stats arithmetic: every get and put is
+// counted, including the unpooled oversized path on both sides.
+func TestScratchCounters(t *testing.T) {
+	g0, p0 := scratchStats()
+	small := getScratch(64)
+	big := getScratch(2 << 20) // beyond the largest class
+	putScratch(small)
+	putScratch(big)
+	putScratch(nil) // no-op, uncounted
+	g1, p1 := scratchStats()
+	if g1-g0 != 2 || p1-p0 != 2 {
+		t.Fatalf("counter deltas gets=%d puts=%d, want 2/2", g1-g0, p1-p0)
+	}
+}
+
+// TestRunWriterErrorPathReturnsScratch is the regression test for the
+// spill leak ownercheck found: a run writer abandoned after a write
+// error must still return its pooled window. The writer targets a closed
+// file so the drain fails, exactly like a full disk mid-spill.
+func TestRunWriterErrorPathReturnsScratch(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "extsort-*.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close() // every Write from here on fails
+
+	g0, p0 := scratchStats()
+	w := newRunWriter(f)
+	rec := bytes.Repeat([]byte{'x'}, ioBufSize) // forces an immediate drain
+	if err := w.write(rec); err == nil {
+		t.Fatal("write to closed file succeeded, cannot exercise the error path")
+	}
+	w.discard()
+	g1, p1 := scratchStats()
+	if g1-g0 != p1-p0 {
+		t.Fatalf("writer error path leaked scratch: %d gets vs %d puts", g1-g0, p1-p0)
+	}
+	if w.buf != nil {
+		t.Fatal("discard left the writer holding its buffer")
+	}
+}
+
+// TestScratchBalanceAcrossSpillMerge runs a full spill-and-merge sort
+// and checks the pool books balance: everything the run writers and
+// readers borrowed came back by the time the iterator closes. This is
+// the dynamic twin of ownercheck's static leak analysis.
+func TestScratchBalanceAcrossSpillMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recs := randRecords(rng, 2000, 40)
+
+	g0, p0 := scratchStats()
+	s := NewSorter(Config{MemBudget: 4 << 10, Dir: t.TempDir()})
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(collect(t, it))
+	it.Close()
+	if n != len(recs) {
+		t.Fatalf("merged %d records, want %d", n, len(recs))
+	}
+	g1, p1 := scratchStats()
+	if gets, puts := g1-g0, p1-p0; gets != puts {
+		t.Fatalf("spill+merge leaked scratch: %d gets vs %d puts", gets, puts)
+	} else if gets == 0 {
+		t.Fatal("sort never touched the scratch pool; the budget did not force a spill")
+	}
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
 // BufPool recycles frame payload buffers through per-size-class
 // freelists, the fixed-block-cache idiom: Get hands out a buffer whose
@@ -77,13 +80,37 @@ func (p *BufPool) Get(n int) []byte {
 	return make([]byte, n, 1<<(poolMinShift+c))
 }
 
-// Put returns a buffer obtained from Get. Buffers whose capacity is not
-// an exact class size (oversized allocations, foreign buffers) and
-// buffers arriving at a full class are dropped for the allocator to
-// reclaim. nil is a no-op.
+// poolDebug enables release poisoning: every Put overwrites the buffer
+// with poolPoison before it can be re-issued, so a reader holding a
+// stale reference sees garbage immediately instead of whichever frame
+// happens to recycle the block later. Set GREENPS_POOLDEBUG=1 in tests
+// (the race CI leg does) to turn silent use-after-Put corruption into a
+// loud failure.
+var poolDebug = os.Getenv("GREENPS_POOLDEBUG") == "1"
+
+// poolPoison is the debug fill byte (0xDB, "debug").
+const poolPoison = 0xDB
+
+// Put returns a buffer to the pool and ENDS the caller's ownership of
+// it: the contract is the same as free(3), and both reading and writing
+// b after Put is a bug even if the bytes look intact, because Get may
+// re-issue the block to any other caller at any time. Put accepts only
+// buffers that came from Get — a foreign buffer (make, or a re-sliced
+// view whose capacity is no longer an exact class size) is dropped for
+// the allocator rather than cached, and the stats count the drop.
+// Oversized buffers (beyond the largest class) and buffers arriving at
+// a full class are likewise dropped. nil is a no-op. The ownercheck
+// analyzer enforces this contract statically; GREENPS_POOLDEBUG=1
+// enforces it dynamically by poisoning released buffers.
 func (p *BufPool) Put(b []byte) {
 	if b == nil {
 		return
+	}
+	if poolDebug {
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = poolPoison
+		}
 	}
 	c := classFor(cap(b))
 	p.mu.Lock()

@@ -2,10 +2,112 @@ package transport
 
 import (
 	"net"
+	"sync"
 	"testing"
 
 	"github.com/greenps/greenps/internal/message"
 )
+
+// TestBufPoolZeroLengthGet pins the degenerate request: a zero-length
+// Get is still pooled (smallest class), still usable with append, and
+// still round-trips through Put.
+func TestBufPoolZeroLengthGet(t *testing.T) {
+	p := NewBufPool()
+	b := p.Get(0)
+	if len(b) != 0 {
+		t.Fatalf("Get(0): len %d, want 0", len(b))
+	}
+	if cap(b) != 1<<poolMinShift {
+		t.Fatalf("Get(0): cap %d, want smallest class %d", cap(b), 1<<poolMinShift)
+	}
+	b = append(b, 1, 2, 3)
+	p.Put(b)
+	st := p.Stats()
+	if st.Gets != 1 || st.Puts != 1 || st.Drops != 0 {
+		t.Fatalf("stats %+v, want gets=1 puts=1 drops=0", st)
+	}
+	// The recycled block serves the next smallest-class request.
+	if b2 := p.Get(1); cap(b2) != 1<<poolMinShift {
+		t.Fatalf("Get(1) after Put(Get(0)): cap %d, want %d", cap(b2), 1<<poolMinShift)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("Get(1) after Put(Get(0)): stats %+v, want a hit", st)
+	}
+}
+
+// TestBufPoolOversizedRoundTrip pins the unpooled path end to end: the
+// Get is counted, the buffer is exactly the requested size (no class
+// rounding), and the Put is counted as a drop.
+func TestBufPoolOversizedRoundTrip(t *testing.T) {
+	p := NewBufPool()
+	n := (64 << 10) + 1 // one past the largest class
+	b := p.Get(n)
+	if len(b) != n || cap(b) != n {
+		t.Fatalf("oversized Get: len %d cap %d, want %d/%d", len(b), cap(b), n, n)
+	}
+	p.Put(b)
+	st := p.Stats()
+	if st.Gets != 1 || st.Hits != 0 || st.Puts != 1 || st.Drops != 1 {
+		t.Fatalf("stats %+v, want gets=1 hits=0 puts=1 drops=1", st)
+	}
+	// The drop really dropped: the next in-class Get must miss.
+	_ = p.Get(256)
+	if st := p.Stats(); st.Hits != 0 {
+		t.Fatalf("oversized buffer entered a freelist: %+v", st)
+	}
+}
+
+// TestBufPoolStatsConcurrent hammers one pool from many goroutines and
+// checks the counter arithmetic holds exactly: every Get and Put is
+// counted once, and hits/drops never exceed their totals. Run under
+// -race this also exercises the lock discipline.
+func TestBufPoolStatsConcurrent(t *testing.T) {
+	p := NewBufPool()
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b := p.Get(1 << (uint(seed+i) % 12))
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != workers*iters || st.Puts != workers*iters {
+		t.Fatalf("stats %+v, want gets=puts=%d", st, workers*iters)
+	}
+	if st.Hits > st.Gets || st.Drops > st.Puts || st.Hits < 0 || st.Drops < 0 {
+		t.Fatalf("stats %+v violate hits<=gets, drops<=puts", st)
+	}
+}
+
+// TestBufPoolDebugPoison verifies the GREENPS_POOLDEBUG contract: once
+// Put accepts a buffer, its bytes are overwritten with the sentinel, so
+// a holder of a stale reference reads poison instead of recycled frames.
+func TestBufPoolDebugPoison(t *testing.T) {
+	old := poolDebug
+	poolDebug = true
+	defer func() { poolDebug = old }()
+
+	p := NewBufPool()
+	b := p.Get(64)
+	for i := range b {
+		b[i] = 0x11
+	}
+	stale := b // the bug under test: a reference surviving the Put
+	p.Put(b)
+	for i, v := range stale {
+		if v != poolPoison {
+			t.Fatalf("byte %d after Put = %#x, want poison %#x", i, v, poolPoison)
+		}
+	}
+}
 
 func TestBufPoolRoundTrip(t *testing.T) {
 	p := NewBufPool()
